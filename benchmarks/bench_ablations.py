@@ -1,0 +1,153 @@
+"""Ablation benchmarks for the design decisions DESIGN.md §5 calls out.
+
+1. **Threads per node** — the overlap mechanism: sweep 1/2/4 threads on
+   the JPEG pipeline.
+2. **Burst vs cell-accurate ATM simulation** — identical delivery, very
+   different event counts.
+3. **Datapath** — socket vs NCS vs zero-copy floor on a bulk transfer.
+4. **Per-message latency sweep** — demonstrates where the paper's FFT
+   improvement band reappears: as p4's per-message overhead grows toward
+   mid-90s magnitudes, the NCS advantage widens (threads hide latency).
+5. **Shared vs switched medium** — Ethernet collisions ablation.
+"""
+
+import pytest
+
+from repro.apps import run_jpeg_ncs, run_jpeg_p4
+from repro.apps.fft import run_fft_ncs, run_fft_p4
+from repro.apps.matmul import run_matmul_ncs
+from repro.net import build_atm_cluster, build_ethernet_cluster
+from repro.p4 import P4Params
+
+
+def test_ablation_threads_per_node(sim_bench, capsys):
+    """More threads, more overlap — until per-thread message overheads
+    dominate."""
+    def run():
+        out = {}
+        for threads in (1, 2, 4):
+            from repro.apps.matmul import run_matmul_ncs
+            r = run_matmul_ncs("nynet", 2, n=128,
+                               threads_per_node=threads)
+            assert r.correct
+            out[threads] = r.makespan_s
+        return out
+
+    times = sim_bench(run)
+    with capsys.disabled():
+        print("\nAblation: NCS matmul (2 nodes) vs threads/node:",
+              {k: round(v, 2) for k, v in times.items()})
+    # 2 threads (the paper's choice) must beat 1 thread
+    assert times[2] < times[1]
+
+
+def test_ablation_cell_accurate_vs_burst(sim_bench, capsys):
+    """train_cells=1 (every cell an event) and the default burst mode
+    deliver identical bytes; burst mode is the documented approximation."""
+    def run():
+        out = {}
+        for label, train in (("burst", 256), ("cell-accurate", 1)):
+            cluster = build_atm_cluster(2, train_cells=train)
+            sim = cluster.sim
+            vc = cluster.hsm_vc(0, 1)
+            api0, api1 = cluster.stack(0).atm_api, cluster.stack(1).atm_api
+
+            def sender():
+                yield from api0.send(vc, None, 32 * 1024)
+
+            def receiver():
+                msg = yield api1.recv(vc)
+                return (msg.nbytes, sim.now)
+
+            sim.process(sender())
+            p = sim.process(receiver())
+            sim.run(max_events=10_000_000)
+            out[label] = p.value
+        return out
+
+    results = sim_bench(run)
+    with capsys.disabled():
+        print("\nAblation: burst vs cell-accurate:",
+              {k: (v[0], round(v[1] * 1e3, 3)) for k, v in results.items()})
+    assert results["burst"][0] == results["cell-accurate"][0] == 32 * 1024
+    assert results["burst"][1] == pytest.approx(
+        results["cell-accurate"][1], rel=0.5)
+
+
+def test_ablation_latency_sweep_restores_matmul_gap(sim_bench, capsys):
+    """EXPERIMENTS.md's central analysis: the paper's improvement bands
+    presuppose per-message/per-byte costs far above our calibrated
+    stack's.  Inflating p4's marshalling cost widens the gap between p4
+    and NCS — threads hide transfer time, single-threaded p4 eats it."""
+    from repro.apps.matmul import run_matmul_p4
+
+    def run():
+        out = {}
+        for per_byte_us in (0.3, 2.0, 6.0):
+            params = P4Params(
+                marshal_send_per_byte_s=per_byte_us * 1e-6,
+                marshal_recv_per_byte_s=per_byte_us * 1e-6)
+            rp = run_matmul_p4("nynet", 2, n=128, p4_params=params)
+            rn = run_matmul_ncs("nynet", 2, n=128, p4_params=params)
+            assert rp.correct and rn.correct
+            out[per_byte_us] = (rp.makespan_s - rn.makespan_s) \
+                / rp.makespan_s * 100
+        return out
+
+    gaps = sim_bench(run)
+    with capsys.disabled():
+        print("\nAblation: NCS-vs-p4 improvement vs p4 per-byte cost:",
+              {f"{k}us/B": f"{v:.1f}%" for k, v in gaps.items()})
+    # NCS never loses, and the gap widens monotonically with latency
+    costs = sorted(gaps)
+    assert all(gaps[c] > -0.5 for c in costs)
+    assert gaps[costs[-1]] > gaps[costs[0]]
+
+
+def test_ablation_ethernet_collisions(sim_bench, capsys):
+    """Collision modeling slows the shared segment under load but never
+    loses data (CSMA/CD retries)."""
+    def run():
+        out = {}
+        for collisions in (False, True):
+            cluster = build_ethernet_cluster(3, collisions=collisions)
+            sim = cluster.sim
+            got = []
+            nic2 = cluster.host(2).interface("ethernet")
+            nic2.set_receive_handler(lambda f: got.append(sim.now))
+            nic0 = cluster.host(0).interface("ethernet")
+            nic1 = cluster.host(1).interface("ethernet")
+            for _ in range(50):
+                nic0.enqueue("n2", None, 1000)
+                nic1.enqueue("n2", None, 1000)
+            sim.run(max_events=1_000_000)
+            out[collisions] = (len(got), got[-1])
+        return out
+
+    results = sim_bench(run)
+    with capsys.disabled():
+        print("\nAblation: Ethernet collisions:",
+              {k: (v[0], round(v[1] * 1e3, 2)) for k, v in results.items()})
+    assert results[False][0] == results[True][0] == 100
+    assert results[True][1] >= results[False][1]
+
+
+def test_ablation_jpeg_overlap_source(sim_bench, capsys):
+    """Where do the JPEG pipeline's gains come from?  Compare the full
+    NCS run against p4 at two node counts: the improvement holds across
+    scales because the hidden time (band transfers) scales with the
+    work."""
+    def run():
+        out = {}
+        for n in (2, 4):
+            rp = run_jpeg_p4("nynet", n)
+            rn = run_jpeg_ncs("nynet", n)
+            out[n] = (rp.makespan_s - rn.makespan_s) / rp.makespan_s
+        return out
+
+    imps = sim_bench(run)
+    with capsys.disabled():
+        print("\nAblation: JPEG improvement by node count:",
+              {k: f"{v:.1%}" for k, v in imps.items()})
+    for n, imp in imps.items():
+        assert imp > 0.08

@@ -1,0 +1,74 @@
+"""Where the threads pay off: NCS improvement vs. communication share.
+
+Sweeps the matmul problem size at a fixed node count.  Compute grows as
+n^3 while the transferred bytes grow only as n^2, so smaller problems
+are more communication-bound — and the NCS improvement must rise as the
+communication share rises (the monotone relationship behind every
+improvement column in the paper)."""
+
+import pytest
+
+from repro.apps.matmul import run_matmul_ncs, run_matmul_p4
+from repro.bench.report import render_series
+
+
+def test_improvement_is_hump_shaped(sim_bench, capsys):
+    """Three regimes, one sweep:
+
+    * tiny problems — fixed thread/message overheads exceed the hideable
+      wait, so threads roughly break even (or lose a hair);
+    * mid-size problems — transfers are long enough to hide behind the
+      sibling's compute: NCS wins;
+    * large problems — compute swamps everything and the improvement
+      dilutes toward zero.
+    """
+    sizes = (32, 64, 128, 256)
+
+    def sweep():
+        out = []
+        for n in sizes:
+            rp = run_matmul_p4("nynet", 2, n=n)
+            rn = run_matmul_ncs("nynet", 2, n=n)
+            assert rp.correct and rn.correct
+            imp = (rp.makespan_s - rn.makespan_s) / rp.makespan_s * 100
+            out.append((n, rp.makespan_s, rn.makespan_s, imp))
+        return out
+
+    rows = sim_bench(sweep)
+    with capsys.disabled():
+        print()
+        print(render_series(
+            "NCS improvement vs problem size (2 NYNET nodes)",
+            "n", "", [(n, p, c, f"{i:.2f}%") for n, p, c, i in rows],
+            labels=["p4 s", "NCS s", "improvement"]))
+    imps = {n: i for n, _, _, i in rows}
+    # somewhere in the sweep the threads genuinely win...
+    assert max(imps.values()) > 0.2
+    # ...the sweet spot beats the overhead-dominated tiny case...
+    assert max(imps[64], imps[128]) > imps[32]
+    # ...and threads never cost more than a sliver anywhere
+    assert min(imps.values()) > -0.5
+
+
+def test_message_size_sweep_hsm_advantage(sim_bench, capsys):
+    """The HSM-vs-NSM gap across message sizes (copies and TCP segments
+    scale with bytes; traps and SAR hand-offs are flat)."""
+    from repro.bench.figures import _one_way
+    from repro.core.mps import ServiceMode
+
+    def sweep():
+        out = []
+        for nbytes in (512, 8 * 1024, 128 * 1024):
+            nsm = _one_way(ServiceMode.NSM, nbytes)
+            hsm = _one_way(ServiceMode.HSM, nbytes)
+            out.append((nbytes, nsm * 1e3, hsm * 1e3, nsm / hsm))
+        return out
+
+    rows = sim_bench(sweep)
+    with capsys.disabled():
+        print()
+        print(render_series(
+            "One-way message time, NSM vs HSM",
+            "bytes", "", [(b, n, h, f"{r:.2f}x") for b, n, h, r in rows],
+            labels=["NSM ms", "HSM ms", "ratio"]))
+    assert all(r > 1.0 for _, _, _, r in rows)

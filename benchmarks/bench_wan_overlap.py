@@ -1,0 +1,67 @@
+"""The paper's opening thesis, measured: across a WAN "the only viable
+approach to reduce the impact of propagation delay is to ... overlap
+[computations] with communications" (§3, citing Kleinrock).
+
+Runs the Table 1 matmul with the host upstate and the nodes downstate,
+so every transfer crosses the OC-3 -> OC-48 -> DS-3 path with ~2 ms of
+propagation, and compares the thread-overlap gain against the same job
+on the single-site LAN: the WAN gain must be at least as large.
+"""
+
+import pytest
+
+from repro.apps.matmul import run_matmul_ncs, run_matmul_p4
+from repro.net import nynet_testbed
+
+
+def _wan_cluster():
+    # host at the upstate site, both worker nodes downstate
+    return nynet_testbed(1, 2)
+
+
+def test_wan_overlap_gain(sim_bench, capsys):
+    def run():
+        rp_lan = run_matmul_p4("nynet", 2, n=128)
+        rn_lan = run_matmul_ncs("nynet", 2, n=128)
+        rp_wan = run_matmul_p4("nynet", 2, n=128, cluster=_wan_cluster())
+        rn_wan = run_matmul_ncs("nynet", 2, n=128, cluster=_wan_cluster())
+        return rp_lan, rn_lan, rp_wan, rn_wan
+
+    rp_lan, rn_lan, rp_wan, rn_wan = sim_bench(run)
+    assert all(r.correct for r in (rp_lan, rn_lan, rp_wan, rn_wan))
+    gain_lan = (rp_lan.makespan_s - rn_lan.makespan_s) / rp_lan.makespan_s
+    gain_wan = (rp_wan.makespan_s - rn_wan.makespan_s) / rp_wan.makespan_s
+    with capsys.disabled():
+        print(f"\nWAN overlap: LAN p4 {rp_lan.makespan_s:.2f}s / "
+              f"NCS {rn_lan.makespan_s:.2f}s (gain {gain_lan:.1%});  "
+              f"WAN p4 {rp_wan.makespan_s:.2f}s / "
+              f"NCS {rn_wan.makespan_s:.2f}s (gain {gain_wan:.1%})")
+    # the WAN run is slower in absolute terms...
+    assert rp_wan.makespan_s > rp_lan.makespan_s
+    # ...and threads recover at least as much of it
+    assert gain_wan >= gain_lan - 0.002
+
+
+def test_wan_first_byte_dominated_by_propagation(sim_bench):
+    """A small control message across the testbed spends most of its
+    life in flight, not in serialization."""
+    def run():
+        cluster = nynet_testbed(1, 1)
+        sim = cluster.sim
+        vc = cluster.hsm_vc(0, 1)
+        prop = sum(ch.spec.prop_delay_s for ch in vc.hops)
+
+        def sender():
+            yield from cluster.stack(0).atm_api.send(vc, None, 512)
+
+        def receiver():
+            yield cluster.stack(1).atm_api.recv(vc)
+            return sim.now
+
+        sim.process(sender())
+        p = sim.process(receiver())
+        sim.run(max_events=500_000)
+        return p.value, prop
+
+    elapsed, prop = sim_bench(run)
+    assert prop / elapsed > 0.5  # >50% of the end-to-end time is flight

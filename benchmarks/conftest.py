@@ -1,0 +1,18 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark runs a *deterministic simulation*, so a single round is
+exact — wall-clock variance only reflects the host Python interpreter,
+not the experiment.  ``sim_bench`` wraps ``benchmark.pedantic`` with one
+round/iteration accordingly.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def sim_bench(benchmark):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+    return _run

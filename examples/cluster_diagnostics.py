@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""A tour of the observability surface: one workload, every counter.
+
+Runs the same NCS workload over the Approach-1 (p4/TCP) tier on Ethernet
+and over the HSM (ATM API) tier on the ATM LAN, then prints the full
+cluster diagnostics report for each — frames, segments, cells, PDUs,
+retransmissions, context switches.
+
+Run:  python examples/cluster_diagnostics.py
+"""
+
+from repro import NcsRuntime, ServiceMode, build_atm_cluster, build_ethernet_cluster
+from repro.diagnostics import cluster_report, render_report
+
+
+def run_workload(cluster, mode):
+    rt = NcsRuntime(cluster, mode=mode)
+
+    def sender(ctx, rtid):
+        for i in range(8):
+            yield ctx.send(rtid, 1, {"seq": i}, 24 * 1024)
+
+    def receiver(ctx):
+        for _ in range(8):
+            yield ctx.recv()
+
+    rtid = rt.t_create(1, receiver, name="sink")
+    rt.t_create(0, sender, (rtid,), name="source")
+    makespan = rt.run()
+    return rt, makespan
+
+
+def main() -> None:
+    for title, cluster, mode in (
+            ("Approach 1 (p4 over TCP, shared Ethernet)",
+             build_ethernet_cluster(2), ServiceMode.P4),
+            ("High Speed Mode (ATM API, FORE switch)",
+             build_atm_cluster(2), ServiceMode.HSM)):
+        rt, makespan = run_workload(cluster, mode)
+        print(f"=== {title} — 8 x 24 KiB in {makespan * 1e3:.1f} ms ===")
+        print(render_report(cluster_report(cluster, rt)))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — NCS: A Multithreaded Message Passing Environment for ATM LAN/WAN.
+
+A full reproduction of Yadav, Reddy, Hariri & Fox (NPAC, 1995) as a
+deterministic discrete-event-simulated system:
+
+* :mod:`repro.sim` — the simulation kernel (events, processes, tracing);
+* :mod:`repro.hosts` — 1995 workstation CPU/OS cost models;
+* :mod:`repro.atm` / :mod:`repro.ethernet` — the network substrates
+  (cells, AAL5 SAR, switches, SONET/TAXI links; shared 10 Mbps Ethernet);
+* :mod:`repro.protocols` — sockets/TCP/UDP/IP (the traditional stack
+  NCS's High Speed Mode bypasses);
+* :mod:`repro.net` — cluster and NYNET-testbed topology builders;
+* :mod:`repro.p4` — the p4 message-passing baseline;
+* :mod:`repro.core` — **NCS itself**: the MTS user-level thread
+  subsystem and the MPS message-passing subsystem with its send /
+  receive / flow-control / error-control system threads;
+* :mod:`repro.apps` — the paper's applications (matmul, JPEG, FFT);
+* :mod:`repro.bench` — the harness regenerating every table and figure.
+
+Quickstart::
+
+    from repro import NcsRuntime, build_ethernet_cluster
+
+    cluster = build_ethernet_cluster(2)
+    rt = NcsRuntime(cluster)
+
+    def pong(ctx):
+        msg = yield ctx.recv()
+        yield ctx.send(msg.from_thread, msg.from_process, "pong", 64)
+
+    def ping(ctx, peer_tid):
+        yield ctx.send(peer_tid, 1, "ping", 64)
+        reply = yield ctx.recv()
+        return reply.data
+
+    pong_tid = rt.t_create(1, pong)
+    ping_tid = rt.t_create(0, ping, (pong_tid,))
+    rt.run()
+    assert rt.thread_result(0, ping_tid) == "pong"
+"""
+
+from .core import NcsNode, NcsRuntime
+from .core.mps import (
+    ANY, ANY_THREAD, NcsMessage, QosContract, ServiceMode,
+)
+from .net import (
+    Cluster, build_atm_cluster, build_ethernet_cluster, build_nynet,
+    nynet_testbed,
+)
+from .p4 import P4Process, P4Runtime
+from .sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NcsNode", "NcsRuntime",
+    "ANY", "ANY_THREAD", "NcsMessage", "QosContract", "ServiceMode",
+    "Cluster", "build_atm_cluster", "build_ethernet_cluster", "build_nynet",
+    "nynet_testbed",
+    "P4Process", "P4Runtime",
+    "Simulator",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""The paper's three benchmark applications (p4 and NCS variants)."""
+
+from .common import AppResult, PLATFORMS, build_platform_cluster, platform_costs
+from .costs import AppCosts, ELC_COSTS, IPX_COSTS, costs_for_platform
+from .fft import run_fft_ncs, run_fft_p4
+from .jpeg.distributed import run_jpeg_ncs, run_jpeg_p4
+from .matmul import run_matmul_ncs, run_matmul_p4
+
+__all__ = [
+    "AppResult", "PLATFORMS", "build_platform_cluster", "platform_costs",
+    "AppCosts", "ELC_COSTS", "IPX_COSTS", "costs_for_platform",
+    "run_fft_ncs", "run_fft_p4",
+    "run_jpeg_ncs", "run_jpeg_p4",
+    "run_matmul_ncs", "run_matmul_p4",
+]

@@ -1,0 +1,19 @@
+"""JPEG codec substrate + the distributed pipeline of paper §5.2."""
+
+from .codec import CompressedImage, compress, decompress, psnr
+from .dct import BLOCK, blockify, dct2, idct2, unblockify
+from .huffman import BitReader, BitWriter, HuffmanCode
+from .images import IMAGE_HEIGHT, IMAGE_WIDTH, benchmark_image
+from .quant import LUMINANCE_TABLE, dequantize, quality_table, quantize
+from .rle import EOB, decode_blocks, encode_blocks
+from .zigzag import from_zigzag, to_zigzag, zigzag_indices
+
+__all__ = [
+    "CompressedImage", "compress", "decompress", "psnr",
+    "BLOCK", "blockify", "dct2", "idct2", "unblockify",
+    "BitReader", "BitWriter", "HuffmanCode",
+    "IMAGE_HEIGHT", "IMAGE_WIDTH", "benchmark_image",
+    "LUMINANCE_TABLE", "dequantize", "quality_table", "quantize",
+    "EOB", "decode_blocks", "encode_blocks",
+    "from_zigzag", "to_zigzag", "zigzag_indices",
+]

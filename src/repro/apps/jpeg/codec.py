@@ -1,0 +1,82 @@
+"""The JPEG-style codec: DCT -> quantize -> zig-zag -> RLE -> Huffman.
+
+A real (if grayscale-only) compression pipeline: ``compress`` produces a
+genuine entropy-coded bitstream whose byte length is what the simulated
+network carries, and ``decompress`` reconstructs the image; round-trip
+PSNR at the default quality is well above 30 dB on the benchmark image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dct import BLOCK, blockify, dct2, idct2, unblockify
+from .huffman import HuffmanCode
+from .quant import dequantize, quality_table, quantize
+from .rle import decode_blocks, encode_blocks
+from .zigzag import from_zigzag, to_zigzag
+
+__all__ = ["CompressedImage", "compress", "decompress", "psnr"]
+
+
+@dataclass
+class CompressedImage:
+    """A compressed band/image: the bitstream plus decode metadata."""
+
+    height: int
+    width: int
+    quality: int
+    n_symbols: int
+    code_lengths: dict
+    payload: bytes
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size: bitstream + a modest header/table estimate."""
+        return len(self.payload) + 64 + 2 * len(self.code_lengths)
+
+    @property
+    def n_blocks(self) -> int:
+        return (self.height // BLOCK) * (self.width // BLOCK)
+
+
+def compress(image: np.ndarray, quality: int = 75) -> CompressedImage:
+    """Compress a grayscale image (uint8, dims multiples of 8)."""
+    if image.dtype != np.uint8:
+        raise TypeError("expected a uint8 grayscale image")
+    h, w = image.shape
+    table = quality_table(quality)
+    blocks = blockify(image.astype(np.float64) - 128.0)
+    coeffs = dct2(blocks)
+    quantized = quantize(coeffs, table)
+    zz = to_zigzag(quantized)
+    symbols = encode_blocks(zz)
+    code = HuffmanCode.from_symbols(symbols)
+    payload = code.encode(symbols)
+    return CompressedImage(h, w, quality, len(symbols),
+                           code.lengths, payload)
+
+
+def decompress(data: CompressedImage) -> np.ndarray:
+    """Reconstruct the image from a :class:`CompressedImage`."""
+    code = HuffmanCode(data.code_lengths)
+    symbols = code.decode(data.payload, data.n_symbols)
+    zz = decode_blocks(symbols, data.n_blocks)
+    quantized = from_zigzag(zz)
+    table = quality_table(data.quality)
+    blocks = idct2(dequantize(quantized, table))
+    image = unblockify(blocks, data.height, data.width) + 128.0
+    return np.clip(np.round(image), 0, 255).astype(np.uint8)
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB."""
+    if original.shape != reconstructed.shape:
+        raise ValueError("shape mismatch")
+    mse = np.mean((original.astype(np.float64)
+                   - reconstructed.astype(np.float64)) ** 2)
+    if mse == 0:
+        return float("inf")
+    return 10.0 * np.log10(255.0 ** 2 / mse)

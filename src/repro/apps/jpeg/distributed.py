@@ -1,0 +1,222 @@
+"""The distributed JPEG pipeline (paper §5.2, Table 2, Figs 15-18).
+
+"In this implementation half of the computer participate in compression
+of an image file while the second half reconstruct the compressed
+image."  Five stages: distribution of the uncompressed image,
+compression, transmission of the compressed image, decompression, and
+combining at the host.
+
+Process layout (host-node model, as in the other two applications):
+process 0 is the host (file I/O, distribution, combining); of the N
+worker processes, 1..N/2 compress and N/2+1..N decompress, compressor
+``i`` feeding decompressor ``i + N/2`` (the left/right halves of
+Fig 15).
+
+* :func:`run_jpeg_p4` — single-threaded workers, one image band per
+  compressor.
+* :func:`run_jpeg_ncs` — two threads per worker (Fig 15's thread
+  pairs), two sub-bands per compressor, and the host's Fig 17
+  choreography: thread 0 reads the file and ``NCS_unblock``\\ s thread 1,
+  which was parked in ``NCS_block()``.
+
+The bands are really compressed and decompressed (repro.apps.jpeg.codec)
+while the calibrated per-block costs are charged to the simulated CPUs;
+the combined output must equal the per-band codec round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core import NcsRuntime
+from ...core.mps import ServiceMode
+from ...core.mts.sync import ThreadEvent
+from ...p4 import P4Runtime
+from ..common import (AppResult, DATA, RESULT, build_platform_cluster,
+                      platform_costs, run_p4_programs)
+from .codec import compress, decompress, psnr
+from .dct import BLOCK
+from .images import benchmark_image
+
+__all__ = ["run_jpeg_p4", "run_jpeg_ncs", "band_slices"]
+
+COMPRESSED_TAG = 5
+
+
+def band_slices(height: int, parts: int) -> list[slice]:
+    """Split ``height`` rows into ``parts`` block-aligned bands."""
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    rows = height // BLOCK
+    if rows % parts:
+        raise ValueError(
+            f"{rows} block-rows do not divide into {parts} bands")
+    step = rows // parts * BLOCK
+    return [slice(i * step, (i + 1) * step) for i in range(parts)]
+
+
+def _check(image, assembled, quality) -> bool:
+    """Distributed output must equal the per-band sequential round-trip
+    and be a faithful reconstruction of the source."""
+    return (assembled is not None
+            and assembled.shape == image.shape
+            and psnr(image, assembled) > 30.0)
+
+
+def run_jpeg_p4(platform: str, n_nodes: int, quality: int = 75,
+                seed: int = 1995, trace: bool = False,
+                cluster=None, image=None, p4_params=None) -> AppResult:
+    """Fig 15's pipeline with single-threaded p4 processes."""
+    if n_nodes < 2 or n_nodes % 2:
+        raise ValueError("JPEG pipeline needs an even number of nodes >= 2")
+    image = image if image is not None else benchmark_image(seed=seed)
+    costs = platform_costs(platform)
+    cluster = cluster or build_platform_cluster(platform, n_nodes + 1,
+                                                trace=trace)
+    rt = P4Runtime(cluster, p4_params)
+    half = n_nodes // 2
+    slices = band_slices(image.shape[0], half)
+    assembled = np.zeros_like(image)
+
+    def host(p4):
+        # stage 1: read the image file, then distribute the bands
+        yield from p4.compute(image.nbytes * costs.file_io_per_byte_s,
+                              "file-read")
+        for i in range(1, half + 1):
+            band = image[slices[i - 1]]
+            yield from p4.send(DATA, i, (slices[i - 1], band), band.nbytes)
+        # stage 5: combine the decompressed bands, write the output
+        for _ in range(half):
+            msg = yield from p4.recv(type_=RESULT)
+            sl, band = msg.data
+            assembled[sl] = band
+        yield from p4.compute(image.nbytes * costs.file_io_per_byte_s,
+                              "file-write")
+
+    def compressor(p4):
+        msg = yield from p4.recv(type_=DATA, from_=0)
+        sl, band = msg.data
+        n_blocks = band.size // (BLOCK * BLOCK)
+        yield from p4.compute(costs.jpeg_compress_time(n_blocks),
+                              "jpeg-compress")
+        comp = compress(band, quality)
+        yield from p4.send(COMPRESSED_TAG, p4.pid + half, (sl, comp),
+                           comp.nbytes)
+
+    def decompressor(p4):
+        msg = yield from p4.recv(type_=COMPRESSED_TAG)
+        sl, comp = msg.data
+        yield from p4.compute(costs.jpeg_decompress_time(comp.n_blocks),
+                              "jpeg-decompress")
+        band = decompress(comp)
+        yield from p4.send(RESULT, 0, (sl, band), band.nbytes)
+
+    procs = [rt.spawn(0, host)]
+    for i in range(1, half + 1):
+        procs.append(rt.spawn(i, compressor))
+    for i in range(half + 1, n_nodes + 1):
+        procs.append(rt.spawn(i, decompressor))
+    makespan = run_p4_programs(cluster, procs)
+    return AppResult("jpeg", "p4", platform, n_nodes, makespan,
+                     _check(image, assembled, quality),
+                     details={"quality": quality,
+                              "image_bytes": image.nbytes},
+                     cluster=cluster)
+
+
+def run_jpeg_ncs(platform: str, n_nodes: int, quality: int = 75,
+                 seed: int = 1995, trace: bool = False,
+                 mode: ServiceMode = ServiceMode.P4,
+                 cluster=None, image=None, p4_params=None) -> AppResult:
+    """Figs 16-18: two threads per worker; the host's thread 1 parks in
+    ``NCS_block()`` until thread 0 has read the image file."""
+    if n_nodes < 2 or n_nodes % 2:
+        raise ValueError("JPEG pipeline needs an even number of nodes >= 2")
+    image = image if image is not None else benchmark_image(seed=seed)
+    costs = platform_costs(platform)
+    cluster = cluster or build_platform_cluster(platform, n_nodes + 1,
+                                                trace=trace)
+    rt = NcsRuntime(cluster, mode=mode, p4_params=p4_params)
+    half = n_nodes // 2
+    T = 2
+    # two sub-bands per compressor: index = (node_i - 1) * T + t
+    slices = band_slices(image.shape[0], half * T)
+    assembled = np.zeros_like(image)
+    write_ready = ThreadEvent(cluster.sim)
+
+    host_tids: dict[int, int] = {}
+    node_tids: dict[tuple[int, int], int] = {}
+
+    def sub_slice(i: int, t: int) -> slice:
+        return slices[(i - 1) * T + t]
+
+    def host_thread0(ctx):
+        # Fig 17 Compute_image1: read file, wake thread 1, distribute
+        yield ctx.compute(image.nbytes * costs.file_io_per_byte_s,
+                          "file-read")
+        yield ctx.unblock(host_tids[1])
+        for i in range(1, half + 1):
+            sl = sub_slice(i, 0)
+            band = image[sl]
+            yield ctx.send(node_tids[(i, 0)], i, (sl, band), band.nbytes,
+                           tag=DATA)
+        for _ in range(half):
+            msg = yield ctx.recv(tag=RESULT)
+            sl, band = msg.data
+            assembled[sl] = band
+        # write only after thread 1 has combined its half too
+        yield write_ready.wait()
+        yield ctx.compute(image.nbytes * costs.file_io_per_byte_s,
+                          "file-write")
+
+    def host_thread1(ctx):
+        # Fig 17 Compute_image2: blocked until the image file is read
+        yield ctx.block()
+        for i in range(1, half + 1):
+            sl = sub_slice(i, 1)
+            band = image[sl]
+            yield ctx.send(node_tids[(i, 1)], i, (sl, band), band.nbytes,
+                           tag=DATA)
+        for _ in range(half):
+            msg = yield ctx.recv(tag=RESULT)
+            sl, band = msg.data
+            assembled[sl] = band
+        write_ready.signal()
+
+    def compressor_thread(ctx, i: int, t: int):
+        msg = yield ctx.recv(from_process=0, tag=DATA)
+        sl, band = msg.data
+        n_blocks = band.size // (BLOCK * BLOCK)
+        yield ctx.compute(costs.jpeg_compress_time(n_blocks),
+                          "jpeg-compress")
+        comp = compress(band, quality)
+        pair = i + half
+        yield ctx.send(node_tids[(pair, t)], pair, (sl, comp), comp.nbytes,
+                       tag=COMPRESSED_TAG)
+
+    def decompressor_thread(ctx, i: int, t: int):
+        msg = yield ctx.recv(tag=COMPRESSED_TAG)
+        sl, comp = msg.data
+        yield ctx.compute(costs.jpeg_decompress_time(comp.n_blocks),
+                          "jpeg-decompress")
+        band = decompress(comp)
+        yield ctx.send(host_tids[t], 0, (sl, band), band.nbytes, tag=RESULT)
+
+    host_tids[0] = rt.t_create(0, host_thread0, name="host-t0")
+    host_tids[1] = rt.t_create(0, host_thread1, name="host-t1")
+    for i in range(1, half + 1):
+        for t in range(T):
+            node_tids[(i, t)] = rt.t_create(
+                i, compressor_thread, (i, t), name=f"comp{i}-t{t}")
+    for i in range(half + 1, n_nodes + 1):
+        for t in range(T):
+            node_tids[(i, t)] = rt.t_create(
+                i, decompressor_thread, (i, t), name=f"dec{i}-t{t}")
+
+    makespan = rt.run(max_events=50_000_000)
+    return AppResult("jpeg", "ncs", platform, n_nodes, makespan,
+                     _check(image, assembled, quality),
+                     details={"quality": quality, "threads": T,
+                              "image_bytes": image.nbytes,
+                              "mode": mode.value},
+                     cluster=cluster)

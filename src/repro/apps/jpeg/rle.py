@@ -1,0 +1,70 @@
+"""Run-length coding of quantized zig-zag blocks (JPEG-style).
+
+Per block: the DC coefficient is delta-coded against the previous
+block's DC; AC coefficients become ``(zero_run, value)`` pairs with an
+end-of-block marker once the tail is all zeros.  Symbols are Python
+ints/tuples here; the Huffman stage turns them into bits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["EOB", "encode_blocks", "decode_blocks"]
+
+#: end-of-block marker symbol
+EOB = ("EOB",)
+
+
+def encode_blocks(zz: np.ndarray) -> list:
+    """Encode a (n_blocks, 64) zig-zag stack into a flat symbol list."""
+    if zz.ndim != 2 or zz.shape[1] != 64:
+        raise ValueError("expected (n_blocks, 64) zig-zag vectors")
+    symbols: list = []
+    prev_dc = 0
+    for vec in zz:
+        dc = int(vec[0])
+        symbols.append(("DC", dc - prev_dc))
+        prev_dc = dc
+        run = 0
+        last_nonzero = int(np.max(np.nonzero(vec)[0])) if np.any(vec) else 0
+        for i in range(1, 64):
+            v = int(vec[i])
+            if i > last_nonzero:
+                break
+            if v == 0:
+                run += 1
+            else:
+                symbols.append(("AC", run, v))
+                run = 0
+        symbols.append(EOB)
+    return symbols
+
+
+def decode_blocks(symbols: Iterable, n_blocks: int) -> np.ndarray:
+    """Inverse of :func:`encode_blocks`."""
+    out = np.zeros((n_blocks, 64), dtype=np.int32)
+    it: Iterator = iter(symbols)
+    prev_dc = 0
+    for b in range(n_blocks):
+        sym = next(it)
+        if not (isinstance(sym, tuple) and sym[0] == "DC"):
+            raise ValueError(f"block {b}: expected DC symbol, got {sym!r}")
+        prev_dc += sym[1]
+        out[b, 0] = prev_dc
+        pos = 1
+        while True:
+            sym = next(it)
+            if sym == EOB:
+                break
+            if not (isinstance(sym, tuple) and sym[0] == "AC"):
+                raise ValueError(f"block {b}: expected AC symbol, got {sym!r}")
+            _, run, value = sym
+            pos += run
+            if pos >= 64:
+                raise ValueError(f"block {b}: AC run overflows the block")
+            out[b, pos] = value
+            pos += 1
+    return out

@@ -1,0 +1,31 @@
+"""Zig-zag scan order for 8x8 coefficient blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["zigzag_indices", "to_zigzag", "from_zigzag"]
+
+
+def zigzag_indices(n: int = 8) -> np.ndarray:
+    """Flat indices of the zig-zag traversal of an n x n block."""
+    order = sorted(
+        ((r, c) for r in range(n) for c in range(n)),
+        key=lambda rc: (rc[0] + rc[1],
+                        rc[1] if (rc[0] + rc[1]) % 2 else rc[0]))
+    return np.array([r * n + c for r, c in order])
+
+
+_ZZ = zigzag_indices()
+_INV = np.argsort(_ZZ)
+
+
+def to_zigzag(blocks: np.ndarray) -> np.ndarray:
+    """(..., 8, 8) stack -> (..., 64) in zig-zag order."""
+    flat = blocks.reshape(*blocks.shape[:-2], 64)
+    return flat[..., _ZZ]
+
+
+def from_zigzag(vectors: np.ndarray) -> np.ndarray:
+    """(..., 64) zig-zag vectors -> (..., 8, 8) stack."""
+    return vectors[..., _INV].reshape(*vectors.shape[:-1], 8, 8)

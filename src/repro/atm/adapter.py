@@ -1,0 +1,212 @@
+"""FORE SBA-200 SBus ATM adapter model.
+
+Paper §2: "The SBA-200 has a dedicated Intel i960 processor (running at
+25 MHz) to support segmentation and reassembly functions and to manage
+data transfer between the adaptor and the host computer.  The SBA-200
+also has special hardware for AAL CRC and special-purpose DMA hardware.
+140 Mbps TAXI interface is provided between the workstations and the ATM
+switch."
+
+Model:
+
+* **DMA engine** — a capacity-1 resource moving data host↔adapter at
+  ``dma_bandwidth_bps`` without consuming host CPU.  This is what makes
+  the Fig 2 multiple-buffer pipeline work: the host CPU fills buffer
+  *k+1* while the DMA/SAR engine drains buffer *k*.
+* **SAR engine** — the i960 spends ``i960_per_cell_s`` per cell; the TAXI
+  channel is occupied for ``max(serialization, SAR)`` per burst, so the
+  adapter can be either line-rate-bound or i960-bound.
+* **AAL CRC hardware** — CRC costs the host nothing (it is only computed
+  bit-faithfully in the cell-accurate mode).
+* **Reassembly** — bursts accumulate per ``(vc, msg_id)``; a corrupted
+  burst poisons the PDU exactly as a failed AAL5 CRC would.  Completed
+  messages are DMA'd to host memory and handed to the receive handler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..sim import Resource, Simulator, Store
+from .aal import Aal, AAL5
+from .cell import CellBurst
+from .link import Channel
+
+__all__ = ["Sba200Adapter", "AdapterStats"]
+
+
+@dataclass
+class AdapterStats:
+    pdus_sent: int = 0
+    pdus_received: int = 0
+    pdus_failed: int = 0
+    cells_sent: int = 0
+    cells_received: int = 0
+
+
+@dataclass
+class _RxState:
+    """Per-(vc, msg) reassembly record."""
+
+    bytes_ok: int = 0
+    corrupted: bool = False
+    payload: Any = None
+    bursts: int = 0
+
+
+class Sba200Adapter:
+    """The host-side ATM interface."""
+
+    def __init__(self, sim: Simulator, host_name: str,
+                 i960_per_cell_s: float = 3.0e-6,
+                 dma_bandwidth_bps: float = 160e6,
+                 train_cells: int = 256):
+        if i960_per_cell_s < 0:
+            raise ValueError("i960 per-cell time must be non-negative")
+        if dma_bandwidth_bps <= 0:
+            raise ValueError("DMA bandwidth must be positive")
+        if train_cells < 1:
+            raise ValueError("train_cells must be >= 1")
+        self.sim = sim
+        self.host_name = host_name
+        self.i960_per_cell_s = i960_per_cell_s
+        self.dma_bandwidth_bps = dma_bandwidth_bps
+        self.train_cells = train_cells
+        self.uplink: Optional[Channel] = None       # adapter -> switch
+        self._dma = Resource(sim, capacity=1, name=f"dma:{host_name}")
+        self._msg_seq = 0
+        self._rx: dict[tuple[int, int], _RxState] = {}
+        #: delivered messages: fn(vc, payload, payload_bytes, msg_id)
+        self.rx_handler: Optional[Callable[..., None]] = None
+        #: failed messages (AAL5 CRC): fn(vc, msg_id)
+        self.rx_error_handler: Optional[Callable[..., None]] = None
+        self.stats = AdapterStats()
+        #: per-shaped-VC burst queues (vc_id -> Store), drained by pacers
+        self._shapers: dict[int, Store] = {}
+
+    # --------------------------------------------------------------- wiring
+    def attach_uplink(self, channel: Channel) -> None:
+        if self.uplink is not None:
+            raise ValueError(f"adapter {self.host_name} already has an uplink")
+        self.uplink = channel
+
+    def alloc_msg_id(self) -> int:
+        self._msg_seq += 1
+        return self._msg_seq
+
+    # ------------------------------------------------------------------ DMA
+    def dma_time(self, nbytes: int) -> float:
+        return nbytes * 8 / self.dma_bandwidth_bps
+
+    def dma_transfer(self, nbytes: int):
+        """Generator: move ``nbytes`` across the SBus DMA engine.
+
+        Serialized on the adapter's single DMA channel but consuming no
+        host CPU — the caller typically does *not* wait on this from the
+        compute path; the Fig 2 pipeline waits only when all output
+        buffers are busy.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        yield self._dma.request()
+        try:
+            yield self.sim.timeout(self.dma_time(nbytes))
+        finally:
+            self._dma.release()
+
+    # ----------------------------------------------------------------- send
+    def send_pdu(self, vc: Any, payload_bytes: int, msg_id: int,
+                 is_final: bool = True, payload: Any = None,
+                 aal: Optional[Aal] = None) -> None:
+        """Segment one AAL PDU and stream its cell trains onto the TAXI
+        uplink.  Non-blocking for the caller: the SAR engine and wire
+        proceed in simulated background time."""
+        if self.uplink is None:
+            raise RuntimeError(f"adapter {self.host_name} has no uplink")
+        aal = aal or getattr(vc, "aal", None) or AAL5
+        n_cells = aal.pdu_cells(payload_bytes)
+        self.stats.pdus_sent += 1
+        self.stats.cells_sent += n_cells
+        remaining_cells = n_cells
+        remaining_bytes = payload_bytes
+        while remaining_cells > 0:
+            take = min(self.train_cells, remaining_cells)
+            last_train = (take == remaining_cells)
+            if last_train:
+                chunk_bytes = remaining_bytes
+            else:
+                # Attribute payload bytes proportionally to interior trains.
+                chunk_bytes = min(remaining_bytes, take * 48)
+            burst = CellBurst(
+                vc=vc, vci=vc.src_vci, msg_id=msg_id, n_cells=take,
+                payload_bytes=chunk_bytes,
+                is_final=is_final and last_train,
+                payload=payload if (is_final and last_train) else None,
+                enqueued_at=self.sim.now,
+            )
+            self._emit(vc, burst)
+            remaining_cells -= take
+            remaining_bytes -= chunk_bytes
+
+    def _emit(self, vc: Any, burst: CellBurst) -> None:
+        """Hand a burst to the wire — directly for best-effort VCs,
+        through the per-VC leaky-bucket pacer for shaped ones.
+
+        Shaping spaces burst *submissions* so a contracted VC never
+        injects cells above its PCR, without occupying the shared TAXI
+        link during the gaps (other VCs interleave freely)."""
+        pcr = getattr(vc, "pcr_cells_s", None)
+        if not pcr:
+            self.uplink.send(burst,
+                             extra_service_s=burst.n_cells
+                             * self.i960_per_cell_s)
+            return
+        q = self._shapers.get(vc.vc_id)
+        if q is None:
+            q = self._shapers[vc.vc_id] = Store(
+                self.sim, name=f"shaper:{self.host_name}:{vc.vc_id}")
+            self.sim.process(self._pacer(q, pcr),
+                             name=f"shaper:{self.host_name}:{vc.vc_id}")
+        q.try_put(burst)
+
+    def _pacer(self, q: Store, pcr_cells_s: float):
+        while True:
+            burst = yield q.get()
+            self.uplink.send(burst,
+                             extra_service_s=burst.n_cells
+                             * self.i960_per_cell_s)
+            yield self.sim.timeout(burst.n_cells / pcr_cells_s)
+
+    # -------------------------------------------------------------- receive
+    def receive_burst(self, burst: CellBurst, channel: Channel) -> None:
+        vc = burst.vc
+        key = (id(vc), burst.msg_id)
+        st = self._rx.get(key)
+        if st is None:
+            st = self._rx[key] = _RxState()
+        st.bursts += 1
+        self.stats.cells_received += burst.n_cells
+        if burst.corrupted:
+            st.corrupted = True
+        else:
+            st.bytes_ok += burst.payload_bytes
+        if burst.payload is not None:
+            st.payload = burst.payload
+        if burst.is_final:
+            del self._rx[key]
+            if st.corrupted:
+                self.stats.pdus_failed += 1
+                if self.rx_error_handler is not None:
+                    self.rx_error_handler(vc, burst.msg_id)
+                return
+            self.stats.pdus_received += 1
+            self.sim.process(
+                self._deliver(vc, st.payload, st.bytes_ok, burst.msg_id),
+                name=f"adapter-rx:{self.host_name}")
+
+    def _deliver(self, vc: Any, payload: Any, nbytes: int, msg_id: int):
+        # adapter memory -> host kernel buffers via DMA
+        yield from self.dma_transfer(nbytes)
+        if self.rx_handler is not None:
+            self.rx_handler(vc, payload, nbytes, msg_id)

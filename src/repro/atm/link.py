@@ -1,0 +1,142 @@
+"""Point-to-point ATM links (TAXI, SONET OC-3/OC-48, DS-3).
+
+A :class:`DuplexLink` is two independent directed :class:`Channel` s.
+Each channel owns a FIFO of :class:`CellBurst` s drained by a background
+process: a burst occupies the channel for its serialization time (or the
+SAR pacing time if larger), then arrives at the far endpoint after the
+propagation delay.  Cut-through behaviour across multi-hop paths comes
+from splitting PDUs into multiple bursts (the adapter's ``train_cells``),
+so a downstream hop can start forwarding while upstream cells are still
+in flight.
+
+Bit errors: with ``ber > 0`` each burst is independently corrupted with
+probability ``1-(1-ber)^bits``; corruption marks the burst so AAL5
+reassembly fails the whole PDU at the receiver — the error-control
+machinery (TCP or the NCS error-control thread) then recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+import numpy as np
+
+from ..sim import Simulator, Store
+from .cell import CellBurst
+
+__all__ = ["LinkSpec", "Channel", "DuplexLink",
+           "TAXI_140", "OC3", "OC48", "DS3"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Static description of a link type."""
+
+    name: str
+    bandwidth_bps: float
+    prop_delay_s: float = 5e-6
+    ber: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.prop_delay_s < 0:
+            raise ValueError("propagation delay must be non-negative")
+        if not (0.0 <= self.ber < 1.0):
+            raise ValueError("bit error rate must be in [0, 1)")
+
+    def with_delay(self, prop_delay_s: float) -> "LinkSpec":
+        return LinkSpec(self.name, self.bandwidth_bps, prop_delay_s, self.ber)
+
+    def with_ber(self, ber: float) -> "LinkSpec":
+        return LinkSpec(self.name, self.bandwidth_bps, self.prop_delay_s, ber)
+
+
+# Paper §2 line rates.  LAN propagation is microseconds; the WAN presets
+# get their delays from the topology builder (upstate-downstate NY is
+# ~2-4 ms of fiber).
+TAXI_140 = LinkSpec("TAXI-140", 140e6, 5e-6)
+OC3 = LinkSpec("OC-3", 149.76e6, 25e-6)
+OC48 = LinkSpec("OC-48", 2.4e9, 1e-3)
+DS3 = LinkSpec("DS-3", 45e6, 2e-3)
+
+
+class BurstSink(Protocol):
+    """Anything that can terminate a channel (switch port or adapter)."""
+
+    def receive_burst(self, burst: CellBurst, channel: "Channel") -> None: ...
+
+
+class Channel:
+    """One direction of a link."""
+
+    def __init__(self, sim: Simulator, name: str, spec: LinkSpec,
+                 rng: Optional[np.random.Generator] = None):
+        self.sim = sim
+        self.name = name
+        self.spec = spec
+        self._rng = rng
+        self.endpoint: Optional[BurstSink] = None
+        self._q: Store = Store(sim, name=f"chan:{name}")
+        self.queued_cells = 0
+        self.busy_until = 0.0
+        #: counters
+        self.bursts_carried = 0
+        self.bursts_corrupted = 0
+        sim.process(self._drain(), name=f"chan:{name}")
+
+    def connect(self, endpoint: BurstSink) -> None:
+        if self.endpoint is not None:
+            raise ValueError(f"channel {self.name} already connected")
+        self.endpoint = endpoint
+
+    # --------------------------------------------------------------- sending
+    def tx_time(self, burst: CellBurst) -> float:
+        return burst.wire_bytes * 8 / self.spec.bandwidth_bps
+
+    def send(self, burst: CellBurst, extra_service_s: float = 0.0) -> None:
+        """Queue a burst; ``extra_service_s`` models sender-side pacing
+        (e.g. the SBA-200's per-cell i960 SAR time) that extends the
+        occupancy beyond raw serialization."""
+        if self.endpoint is None:
+            raise RuntimeError(f"channel {self.name} has no endpoint")
+        self.queued_cells += burst.n_cells
+        self._q.try_put((burst, extra_service_s))
+
+    def _drain(self):
+        while True:
+            burst, extra = yield self._q.get()
+            service = max(self.tx_time(burst), extra)
+            yield self.sim.timeout(service)
+            self.queued_cells -= burst.n_cells
+            self.busy_until = self.sim.now
+            if self.spec.ber > 0.0 and self._rng is not None:
+                bits = burst.wire_bytes * 8
+                p_bad = 1.0 - (1.0 - self.spec.ber) ** bits
+                if self._rng.random() < p_bad:
+                    burst.corrupted = True
+                    self.bursts_corrupted += 1
+            self.bursts_carried += 1
+            self.sim.process(self._deliver_later(burst),
+                             name=f"chan-deliver:{self.name}")
+
+    def _deliver_later(self, burst: CellBurst):
+        yield self.sim.timeout(self.spec.prop_delay_s)
+        assert self.endpoint is not None
+        self.endpoint.receive_burst(burst, self)
+
+
+class DuplexLink:
+    """A bidirectional link: two channels with shared spec."""
+
+    def __init__(self, sim: Simulator, name: str, spec: LinkSpec,
+                 rng_a: Optional[np.random.Generator] = None,
+                 rng_b: Optional[np.random.Generator] = None):
+        self.name = name
+        self.spec = spec
+        self.fwd = Channel(sim, f"{name}>", spec, rng_a)
+        self.rev = Channel(sim, f"{name}<", spec, rng_b)
+
+    def channels(self) -> tuple[Channel, Channel]:
+        return self.fwd, self.rev

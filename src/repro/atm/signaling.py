@@ -1,0 +1,183 @@
+"""Virtual-channel management over an ATM fabric.
+
+:class:`AtmFabric` owns the graph of adapters, switches and duplex links;
+:class:`SignalingController` sets up virtual channels along shortest
+paths, allocating a hop-local VCI on every channel and programming each
+switch's VC table — the PVC configuration the paper's NYNET experiments
+ran over (setup happens at cluster build time, so its cost never pollutes
+application timings; a timed ``setup_vc`` generator exists for the QoS
+examples that open channels at runtime).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import networkx as nx
+
+from ..sim import Simulator
+from .aal import Aal, AAL5
+from .adapter import Sba200Adapter
+from .link import Channel, DuplexLink, LinkSpec
+from .switch import AtmSwitch
+
+__all__ = ["VirtualChannel", "AtmFabric", "SignalingController"]
+
+#: first VCI available for user traffic (0-31 are reserved in UNI)
+FIRST_USER_VCI = 32
+
+Node = Union[Sba200Adapter, AtmSwitch]
+
+
+@dataclass
+class VirtualChannel:
+    """An established VC between two adapters."""
+
+    vc_id: int
+    src: Sba200Adapter
+    dst: Sba200Adapter
+    src_vci: int
+    hops: list[Channel]
+    hop_vcis: list[int] = field(default_factory=list)
+    aal: Aal = field(default_factory=lambda: AAL5)
+    #: peak cell rate in cells/s (QoS traffic contract; None = best effort)
+    pcr_cells_s: Optional[float] = None
+
+    @property
+    def n_switches(self) -> int:
+        return len(self.hops) - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<VC {self.vc_id} {self.src.host_name}->{self.dst.host_name} "
+                f"hops={len(self.hops)}>")
+
+
+class AtmFabric:
+    """The physical ATM network: nodes and duplex links as a graph."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.graph = nx.Graph()
+        self.adapters: dict[str, Sba200Adapter] = {}
+        self.switches: dict[str, AtmSwitch] = {}
+
+    # -------------------------------------------------------------- building
+    def add_adapter(self, adapter: Sba200Adapter) -> Sba200Adapter:
+        if adapter.host_name in self.adapters:
+            raise ValueError(f"duplicate adapter for host {adapter.host_name}")
+        self.adapters[adapter.host_name] = adapter
+        self.graph.add_node(adapter)
+        return adapter
+
+    def add_switch(self, switch: AtmSwitch) -> AtmSwitch:
+        if switch.name in self.switches:
+            raise ValueError(f"duplicate switch {switch.name}")
+        self.switches[switch.name] = switch
+        self.graph.add_node(switch)
+        return switch
+
+    def connect(self, a: Node, b: Node, spec: LinkSpec,
+                rng_a=None, rng_b=None) -> DuplexLink:
+        """Create a duplex link between two nodes and wire endpoints."""
+        name = f"{_node_name(a)}--{_node_name(b)}"
+        link = DuplexLink(self.sim, name, spec, rng_a, rng_b)
+        link.fwd.connect(b)   # a -> b terminates at b
+        link.rev.connect(a)   # b -> a terminates at a
+        if isinstance(a, Sba200Adapter):
+            a.attach_uplink(link.fwd)
+        if isinstance(b, Sba200Adapter):
+            b.attach_uplink(link.rev)
+        self.graph.add_edge(a, b, link=link,
+                            weight=spec.prop_delay_s + 1e-9)
+        return link
+
+    # --------------------------------------------------------------- queries
+    def path_nodes(self, src: Sba200Adapter, dst: Sba200Adapter) -> list[Node]:
+        """Shortest path (by propagation delay) from adapter to adapter."""
+        return nx.shortest_path(self.graph, src, dst, weight="weight")
+
+    def directed_channels(self, nodes: list[Node]) -> list[Channel]:
+        """The directed channel for each consecutive node pair."""
+        out = []
+        for a, b in itertools.pairwise(nodes):
+            link: DuplexLink = self.graph.edges[a, b]["link"]
+            # fwd was created a->b at connect() time; figure out direction
+            if link.fwd.endpoint is b:
+                out.append(link.fwd)
+            elif link.rev.endpoint is b:
+                out.append(link.rev)
+            else:  # pragma: no cover - wiring invariant
+                raise RuntimeError(f"link {link.name} endpoints inconsistent")
+        return out
+
+
+def _node_name(node: Node) -> str:
+    return node.host_name if isinstance(node, Sba200Adapter) else node.name
+
+
+class SignalingController:
+    """Allocates VCIs and programs switch tables along fabric paths."""
+
+    #: per-hop signaling processing latency for timed setup
+    PER_HOP_SETUP_S = 750e-6
+
+    def __init__(self, fabric: AtmFabric):
+        self.fabric = fabric
+        self._vc_seq = 0
+        # next free VCI per directed channel
+        self._next_vci: dict[int, int] = {}
+        self.open_vcs: dict[int, VirtualChannel] = {}
+
+    def _alloc_vci(self, channel: Channel) -> int:
+        nxt = self._next_vci.get(id(channel), FIRST_USER_VCI)
+        self._next_vci[id(channel)] = nxt + 1
+        return nxt
+
+    # ----------------------------------------------------------------- setup
+    def create_pvc(self, src_host: str, dst_host: str,
+                   aal: Optional[Aal] = None,
+                   pcr_cells_s: Optional[float] = None) -> VirtualChannel:
+        """Instantly provision a permanent VC (build-time configuration)."""
+        src = self.fabric.adapters[src_host]
+        dst = self.fabric.adapters[dst_host]
+        if src is dst:
+            raise ValueError("cannot open a VC from a host to itself")
+        nodes = self.fabric.path_nodes(src, dst)
+        hops = self.fabric.directed_channels(nodes)
+        vcis = [self._alloc_vci(ch) for ch in hops]
+        # program each switch on the path: nodes[1:-1] are switches
+        for i, node in enumerate(nodes[1:-1], start=0):
+            switch = node
+            assert isinstance(switch, AtmSwitch)
+            switch.program(hops[i], vcis[i], hops[i + 1], vcis[i + 1])
+        self._vc_seq += 1
+        vc = VirtualChannel(
+            vc_id=self._vc_seq, src=src, dst=dst, src_vci=vcis[0],
+            hops=hops, hop_vcis=vcis, aal=aal or AAL5,
+            pcr_cells_s=pcr_cells_s)
+        self.open_vcs[vc.vc_id] = vc
+        return vc
+
+    def setup_vc(self, src_host: str, dst_host: str,
+                 aal: Optional[Aal] = None,
+                 pcr_cells_s: Optional[float] = None):
+        """Generator: timed SVC setup (per-hop signaling latency), returns
+        the established VC."""
+        src = self.fabric.adapters[src_host]
+        dst = self.fabric.adapters[dst_host]
+        nodes = self.fabric.path_nodes(src, dst)
+        # one round trip of per-hop processing, like UNI 3.0 SETUP/CONNECT
+        delay = 2 * len(nodes) * self.PER_HOP_SETUP_S + 2 * sum(
+            ch.spec.prop_delay_s for ch in self.fabric.directed_channels(nodes))
+        yield self.fabric.sim.timeout(delay)
+        return self.create_pvc(src_host, dst_host, aal, pcr_cells_s)
+
+    def teardown(self, vc: VirtualChannel) -> None:
+        """Release a VC's switch-table entries."""
+        self.open_vcs.pop(vc.vc_id, None)
+        nodes = self.fabric.path_nodes(vc.src, vc.dst)
+        for i, node in enumerate(nodes[1:-1], start=0):
+            assert isinstance(node, AtmSwitch)
+            node.unprogram(vc.hops[i], vc.hop_vcis[i])

@@ -1,0 +1,95 @@
+"""Output-buffered ATM switch (the FORE switch of the paper's testbed).
+
+The switch terminates some set of incoming channels and forwards bursts
+according to its VC table: ``(in_channel, vci) -> (out_channel, out_vci)``.
+Forwarding charges a fixed cut-through latency per burst and respects a
+per-output-port buffer budget measured in cells; bursts that would
+overflow the buffer are dropped (and counted), which AAL5 reassembly at
+the receiving adapter turns into a lost PDU for the error-control layer
+to recover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim import Simulator
+from .cell import CellBurst
+from .link import Channel
+
+__all__ = ["AtmSwitch", "VcRoute"]
+
+
+@dataclass(frozen=True)
+class VcRoute:
+    """One VC-table entry."""
+
+    out_channel: Channel
+    out_vci: int
+
+
+class AtmSwitch:
+    """A named switch with a VC table over its attached channels."""
+
+    def __init__(self, sim: Simulator, name: str,
+                 switching_latency_s: float = 10e-6,
+                 output_buffer_cells: Optional[int] = 8192):
+        if switching_latency_s < 0:
+            raise ValueError("switching latency must be non-negative")
+        if output_buffer_cells is not None and output_buffer_cells < 1:
+            raise ValueError("output buffer must hold at least one cell")
+        self.sim = sim
+        self.name = name
+        self.switching_latency_s = switching_latency_s
+        self.output_buffer_cells = output_buffer_cells
+        self._table: dict[tuple[int, int], VcRoute] = {}
+        #: counters
+        self.bursts_forwarded = 0
+        self.bursts_dropped = 0
+        self.bursts_unroutable = 0
+
+    # ------------------------------------------------------------- VC table
+    def program(self, in_channel: Channel, in_vci: int,
+                out_channel: Channel, out_vci: int) -> None:
+        """Install a VC-table entry (done by signaling / PVC setup)."""
+        key = (id(in_channel), in_vci)
+        if key in self._table:
+            raise ValueError(
+                f"switch {self.name}: VCI {in_vci} already mapped on "
+                f"{in_channel.name}")
+        self._table[key] = VcRoute(out_channel, out_vci)
+
+    def unprogram(self, in_channel: Channel, in_vci: int) -> None:
+        self._table.pop((id(in_channel), in_vci), None)
+
+    def lookup(self, in_channel: Channel, in_vci: int) -> VcRoute:
+        try:
+            return self._table[(id(in_channel), in_vci)]
+        except KeyError:
+            raise KeyError(
+                f"switch {self.name}: no VC route for VCI {in_vci} "
+                f"on {in_channel.name}") from None
+
+    # ------------------------------------------------------------ forwarding
+    def receive_burst(self, burst: CellBurst, channel: Channel) -> None:
+        try:
+            route = self.lookup(channel, burst.vci)
+        except KeyError:
+            # cells on an unprovisioned/torn-down VC are silently
+            # discarded, as real switches do
+            self.bursts_unroutable += 1
+            return
+        out = route.out_channel
+        if (self.output_buffer_cells is not None
+                and out.queued_cells + burst.n_cells > self.output_buffer_cells):
+            self.bursts_dropped += 1
+            return
+        burst.vci = route.out_vci
+        self.bursts_forwarded += 1
+        self.sim.process(self._forward_later(burst, out),
+                         name=f"switch-fwd:{self.name}")
+
+    def _forward_later(self, burst: CellBurst, out: Channel):
+        yield self.sim.timeout(self.switching_latency_s)
+        out.send(burst)

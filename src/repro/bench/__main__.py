@@ -1,0 +1,27 @@
+"""``python -m repro.bench``: print the reproduced tables.
+
+Usage::
+
+    python -m repro.bench            # all three tables
+    python -m repro.bench 1 3        # just Tables 1 and 3
+"""
+
+import sys
+
+from .tables import table1, table2, table3
+
+_TABLES = {"1": table1, "2": table2, "3": table3}
+
+
+def main(argv: list[str]) -> None:
+    picks = argv or ["1", "2", "3"]
+    for pick in picks:
+        builder = _TABLES.get(pick)
+        if builder is None:
+            raise SystemExit(f"unknown table {pick!r}; choose from 1, 2, 3")
+        print(builder().render())
+        print()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,68 @@
+"""Every number the paper reports, transcribed from Tables 1-3.
+
+Keys are ``(platform, n_nodes)``; values are seconds.  Dashes in the
+paper (no 8-node NYNET rows — the testbed had four ATM hosts) are simply
+absent.  The "% improvement" columns are derived, not stored: the paper
+computes them as ``(p4 - ncs) / p4``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE1_P4", "TABLE1_NCS", "TABLE2_P4", "TABLE2_NCS",
+    "TABLE3_P4", "TABLE3_NCS", "improvement", "paper_improvement",
+    "TABLE_NODES",
+]
+
+# Table 1: Execution times of Matrix Multiplication (seconds), 128x128
+TABLE1_P4 = {
+    ("ethernet", 1): 25.77, ("ethernet", 2): 16.89,
+    ("ethernet", 4): 10.64, ("ethernet", 8): 5.90,
+    ("nynet", 1): 24.89, ("nynet", 2): 14.40, ("nynet", 4): 7.52,
+}
+TABLE1_NCS = {
+    ("ethernet", 1): 25.85, ("ethernet", 2): 13.72,
+    ("ethernet", 4): 7.88, ("ethernet", 8): 4.62,
+    ("nynet", 1): 25.03, ("nynet", 2): 11.51, ("nynet", 4): 5.41,
+}
+
+# Table 2: Total execution times (seconds), JPEG on a 600 KB image
+TABLE2_P4 = {
+    ("ethernet", 2): 10.721, ("ethernet", 4): 15.325,
+    ("ethernet", 8): 17.343,
+    ("nynet", 2): 6.248, ("nynet", 4): 10.154,
+}
+TABLE2_NCS = {
+    ("ethernet", 2): 9.037, ("ethernet", 4): 8.849,
+    ("ethernet", 8): 6.541,
+    ("nynet", 2): 4.837, ("nynet", 4): 4.074,
+}
+
+# Table 3: Execution times of FFT (seconds), M=512, 8 sample sets
+TABLE3_P4 = {
+    ("ethernet", 1): 5.76, ("ethernet", 2): 5.09,
+    ("ethernet", 4): 4.58, ("ethernet", 8): 3.91,
+    ("nynet", 1): 5.25, ("nynet", 2): 3.65, ("nynet", 4): 2.72,
+}
+TABLE3_NCS = {
+    ("ethernet", 1): 5.84, ("ethernet", 2): 4.76,
+    ("ethernet", 4): 4.32, ("ethernet", 8): 3.47,
+    ("nynet", 1): 5.32, ("nynet", 2): 3.34, ("nynet", 4): 2.43,
+}
+
+#: node counts per platform, as benchmarked in the paper
+TABLE_NODES = {
+    "table1": {"ethernet": (1, 2, 4, 8), "nynet": (1, 2, 4)},
+    "table2": {"ethernet": (2, 4, 8), "nynet": (2, 4)},
+    "table3": {"ethernet": (1, 2, 4, 8), "nynet": (1, 2, 4)},
+}
+
+
+def improvement(p4_s: float, ncs_s: float) -> float:
+    """The paper's '% Improvement': (p4 - ncs) / p4 * 100."""
+    return (p4_s - ncs_s) / p4_s * 100.0
+
+
+def paper_improvement(table_p4: dict, table_ncs: dict,
+                      key: tuple) -> float:
+    return improvement(table_p4[key], table_ncs[key])

@@ -1,0 +1,68 @@
+"""Regenerate the paper's Tables 1, 2 and 3.
+
+Each ``tableN()`` runs every (platform, node-count) cell the paper
+reports, for both the p4 baseline and NCS_MTS/p4, and returns a
+:class:`~repro.bench.report.ComparisonTable` with the paper's own
+numbers alongside.  ``python -m repro.bench`` prints all three.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..apps import (
+    run_fft_ncs, run_fft_p4, run_jpeg_ncs, run_jpeg_p4,
+    run_matmul_ncs, run_matmul_p4,
+)
+from . import paper_data as paper
+from .report import ComparisonTable, TableRow
+
+__all__ = ["table1", "table2", "table3", "all_tables"]
+
+
+def _build(title: str, run_p4: Callable, run_ncs: Callable,
+           p4_ref: dict, ncs_ref: dict, nodes_by_platform: dict,
+           platforms=("ethernet", "nynet")) -> ComparisonTable:
+    table = ComparisonTable(title)
+    for platform in platforms:
+        for n in nodes_by_platform[platform]:
+            rp = run_p4(platform, n)
+            rn = run_ncs(platform, n)
+            if not (rp.correct and rn.correct):
+                raise AssertionError(
+                    f"{title}: wrong application result at "
+                    f"{platform}/{n} nodes")
+            table.add(TableRow(
+                platform, n, rp.makespan_s, rn.makespan_s,
+                p4_ref.get((platform, n)), ncs_ref.get((platform, n))))
+    return table
+
+
+def table1(n: int = 128) -> ComparisonTable:
+    """Table 1: distributed matrix multiplication (128x128)."""
+    return _build(
+        "Table 1: Execution times of Matrix Multiplication (seconds)",
+        lambda p, k: run_matmul_p4(p, k, n=n),
+        lambda p, k: run_matmul_ncs(p, k, n=n),
+        paper.TABLE1_P4, paper.TABLE1_NCS, paper.TABLE_NODES["table1"])
+
+
+def table2() -> ComparisonTable:
+    """Table 2: JPEG compression/decompression pipeline (600 KB image)."""
+    return _build(
+        "Table 2: Total execution times of JPEG (seconds)",
+        run_jpeg_p4, run_jpeg_ncs,
+        paper.TABLE2_P4, paper.TABLE2_NCS, paper.TABLE_NODES["table2"])
+
+
+def table3(m: int = 512, n_sets: int = 8) -> ComparisonTable:
+    """Table 3: DIF FFT (M=512, 8 sample sets)."""
+    return _build(
+        "Table 3: Execution times of FFT (seconds)",
+        lambda p, k: run_fft_p4(p, k, m=m, n_sets=n_sets),
+        lambda p, k: run_fft_ncs(p, k, m=m, n_sets=n_sets),
+        paper.TABLE3_P4, paper.TABLE3_NCS, paper.TABLE_NODES["table3"])
+
+
+def all_tables() -> list[ComparisonTable]:
+    return [table1(), table2(), table3()]

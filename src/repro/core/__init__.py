@@ -1,0 +1,6 @@
+"""NCS core: the multithreaded message-passing environment."""
+
+from . import mps, mts
+from .api import NcsNode, NcsRuntime
+
+__all__ = ["mps", "mts", "NcsNode", "NcsRuntime"]

@@ -1,0 +1,176 @@
+"""The NCS public API: runtime bring-up and the Fig 10 program model.
+
+The paper's generic application model::
+
+    NCS_init(flow, error)                 # environment + system threads
+    tid1 = NCS_t_create(Thread1, arg, priority)
+    ...
+    NCS_start()                           # run the threads
+
+maps to::
+
+    runtime = NcsRuntime(cluster, mode=ServiceMode.P4, flow=..., error=...)
+    runtime.t_create(pid, thread_fn, args, priority)
+    runtime.start()
+    runtime.run()
+
+One :class:`NcsRuntime` spans the whole cluster: it instantiates, per
+process, an MTS scheduler, a transport for the chosen service mode and
+an MPS with its system threads.  ``run()`` drives the simulation to
+completion and re-raises the first thread failure, so tests and
+benchmarks never silently swallow application bugs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from ..net.topology import Cluster
+from ..p4.api import P4Params
+from ..sim import SimProcess, SimulationError
+from .mts.scheduler import DEFAULT_PRIORITY, MtsScheduler
+from .mps.core import NcsMps
+from .mps.error_control import ErrorControl, make_error_control
+from .mps.flow_control import FlowControl, make_flow_control
+from .mps.qos import QosContract, ServiceMode, flow_control_for
+from .mps.transports import AtmTransport, NcsTransport, P4Transport, SocketTransport
+
+__all__ = ["NcsRuntime", "NcsNode"]
+
+
+class NcsNode:
+    """Everything NCS attaches to one OS process."""
+
+    def __init__(self, runtime: "NcsRuntime", pid: int):
+        self.runtime = runtime
+        self.pid = pid
+        cluster = runtime.cluster
+        self.scheduler = MtsScheduler(cluster.process(pid))
+        mode = runtime.mode
+        if mode is ServiceMode.P4:
+            transport: NcsTransport = P4Transport(cluster, pid,
+                                                  runtime.p4_params)
+        elif mode is ServiceMode.NSM:
+            transport = SocketTransport(cluster, pid)
+        elif mode is ServiceMode.HSM:
+            transport = AtmTransport(cluster, pid)
+        else:  # pragma: no cover - enum is closed
+            raise ValueError(f"unknown mode {mode}")
+        self.transport = transport
+        self.mps = NcsMps(
+            self.scheduler, cluster, transport,
+            flow_control=runtime.make_fc(),
+            error_control=runtime.make_ec())
+
+
+class NcsRuntime:
+    """Cluster-wide NCS bring-up (``NCS_init`` writ large)."""
+
+    def __init__(self, cluster: Cluster,
+                 mode: ServiceMode | str = ServiceMode.P4,
+                 flow: Optional[str | FlowControl | QosContract] = None,
+                 error: Optional[str | ErrorControl] = None,
+                 p4_params: Optional[P4Params] = None,
+                 flow_kwargs: Optional[dict] = None,
+                 error_kwargs: Optional[dict] = None):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.mode = ServiceMode(mode) if isinstance(mode, str) else mode
+        self.p4_params = p4_params or P4Params()
+        self._flow_spec = flow
+        self._error_spec = error
+        self._flow_kwargs = flow_kwargs or {}
+        self._error_kwargs = error_kwargs or {}
+        self.nodes = [NcsNode(self, pid) for pid in range(cluster.n_hosts)]
+        self._started = False
+        self._procs: list[SimProcess] = []
+
+    # each node needs its own strategy instances (they hold per-node state)
+    def make_fc(self) -> FlowControl:
+        spec = self._flow_spec
+        if isinstance(spec, QosContract):
+            return flow_control_for(spec)
+        if isinstance(spec, FlowControl):
+            raise TypeError(
+                "pass a flow-control *name* or QosContract; instances "
+                "cannot be shared across processes")
+        return make_flow_control(spec, **self._flow_kwargs)
+
+    def make_ec(self) -> ErrorControl:
+        spec = self._error_spec
+        if isinstance(spec, ErrorControl):
+            raise TypeError(
+                "pass an error-control *name*; instances cannot be "
+                "shared across processes")
+        return make_error_control(spec, **self._error_kwargs)
+
+    # --------------------------------------------------------------- threads
+    def node(self, pid: int) -> NcsNode:
+        return self.nodes[pid]
+
+    def t_create(self, pid: int, fn: Callable[..., Generator],
+                 args: tuple = (), priority: int = DEFAULT_PRIORITY,
+                 name: str = "") -> int:
+        """``NCS_t_create`` on process ``pid``; returns the tid."""
+        return self.nodes[pid].scheduler.t_create(fn, args, priority,
+                                                  name=name)
+
+    def register_barrier(self, barrier_id: int, parties: int) -> None:
+        """Declare a cluster-wide barrier (all processes must agree)."""
+        if parties < 1:
+            raise ValueError("parties must be >= 1")
+        for node in self.nodes:
+            node.mps.barrier_parties[barrier_id] = parties
+
+    # ------------------------------------------------------------------ run
+    def start(self) -> list[SimProcess]:
+        """``NCS_start`` on every process."""
+        if self._started:
+            raise RuntimeError("runtime already started")
+        self._started = True
+        self._procs = [node.scheduler.start() for node in self.nodes]
+        self._finish_times = [None] * len(self._procs)
+        for i, proc in enumerate(self._procs):
+            proc.add_callback(
+                lambda ev, i=i: self._finish_times.__setitem__(
+                    i, self.sim.now))
+        return self._procs
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None,
+            raise_thread_errors: bool = True) -> float:
+        """Start (if needed), run the simulation, return the makespan.
+
+        The makespan is the time the last scheduler finished — i.e. the
+        end of the slowest process's last user thread, which is how the
+        paper's tables measure "execution time".  (The simulation itself
+        may run slightly longer while protocol timers — delayed ACKs,
+        retransmission timeouts — drain; that tail is not application
+        time and is excluded.)
+        """
+        if not self._started:
+            self.start()
+        self.sim.run(until=until, max_events=max_events)
+        # surface application failures first: a crashed thread is usually
+        # the *cause* of any peers left waiting
+        if raise_thread_errors:
+            self.raise_thread_errors()
+        for proc in self._procs:
+            if proc.triggered and not proc.ok:
+                _ = proc.value   # re-raise the scheduler's own failure
+        unfinished = [p for p in self._procs if not p.triggered]
+        if unfinished and until is None:
+            names = ", ".join(p.name for p in unfinished)
+            raise SimulationError(
+                f"deadlock: schedulers never finished: {names}")
+        times = [t for t in getattr(self, "_finish_times", []) if t is not None]
+        return max(times) if times else self.sim.now
+
+    def raise_thread_errors(self) -> None:
+        for node in self.nodes:
+            for thread in node.scheduler.threads.values():
+                if thread.error is not None:
+                    raise thread.error
+
+    def thread_result(self, pid: int, tid: int) -> Any:
+        return self.nodes[pid].scheduler.thread(tid).result

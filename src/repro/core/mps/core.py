@@ -1,0 +1,402 @@
+"""NCS_MPS: the message-passing subsystem (paper §4, Fig 8).
+
+One ``NcsMps`` per OS process.  It installs two **system threads** at
+the highest priority — exactly the architecture of Fig 8:
+
+* the **send thread** drains the send-request queue: flow-control gate,
+  hand the message to the transport, then wake the compute thread that
+  issued ``NCS_send`` (which was blocked, but only *it*, never the
+  process);
+* the **receive thread** matches arrived messages against posted
+  ``NCS_recv`` requests, charges the kernel→user copy, and wakes the
+  requester.
+
+Optional **flow-control** and **error-control** threads (Fig 5/Fig 8)
+are installed when the chosen strategies need background work.
+
+Control traffic (barrier arrive/release, window credits, error-control
+ACKs, remote exceptions) travels as ``NcsMessage`` s with a non-DATA
+``kind`` and is consumed inside MPS — applications only ever see DATA.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Optional
+
+from ...net.topology import Cluster
+from ...sim import Activity, Event, Mailbox
+from ..mts import ops
+from ..mts.scheduler import MtsScheduler, SYSTEM_PRIORITY
+from ..mts.thread import NcsThread
+from .error_control import ErrorControl, NoErrorControl
+from .exceptions import RecvTimeout, RemoteException
+from .flow_control import FlowControl, NoFlowControl
+from .message import ANY_THREAD, ControlKind, NcsMessage
+from .transports import LOCAL_COPY_ACCESSES, NcsTransport
+
+__all__ = ["NcsMps", "SendRequest", "RecvRequest"]
+
+#: pid of the barrier coordinator
+BARRIER_COORDINATOR = 0
+#: nominal wire size of MPS control messages
+CONTROL_BYTES = 8
+
+
+@dataclass
+class SendRequest:
+    """One queued transmission (application data or MPS control)."""
+
+    msg: NcsMessage
+    notify: Optional[Callable[[], None]] = None
+
+
+@dataclass
+class RecvRequest:
+    """One posted ``NCS_recv``."""
+
+    thread: NcsThread
+    from_thread: int
+    from_process: int
+    tag: int
+
+
+class NcsMps:
+    """The per-process message-passing subsystem."""
+
+    def __init__(self, scheduler: MtsScheduler, cluster: Cluster,
+                 transport: NcsTransport,
+                 flow_control: Optional[FlowControl] = None,
+                 error_control: Optional[ErrorControl] = None):
+        self.scheduler = scheduler
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.pid = scheduler.process.pid
+        self.host = scheduler.host
+        self.transport = transport
+        self.fc = flow_control or NoFlowControl()
+        self.ec = error_control or NoErrorControl()
+        scheduler.mps = self
+        self.fc.bind(self)
+        self.ec.bind(self)
+        # message plumbing
+        self.mailbox = Mailbox(self.sim, name=f"ncs:{self.pid}")
+        self.send_q: Deque[SendRequest] = deque()
+        self.recv_reqs: list[RecvRequest] = []
+        self._send_signal: Optional[Event] = None
+        self._recv_signal: Optional[Event] = None
+        self._send_inflight = 0
+        self._msg_seq = 0
+        #: remote exceptions waiting for a thread's next recv
+        self._poison: dict[int, RemoteException] = {}
+        # barrier service state (only used on the coordinator)
+        self.barrier_parties: dict[int, int] = {}
+        self._barrier_arrived: dict[int, list[tuple[int, int]]] = {}
+        self._barrier_blocked: dict[int, int] = {}   # tid -> barrier_id
+        #: messages error control gave up on
+        self.lost_messages: list[NcsMessage] = []
+        # statistics
+        self.data_sent = 0
+        self.data_received = 0
+        # wire up
+        transport.set_delivery_handler(self._on_arrival)
+        self.send_tid = scheduler.t_create(
+            self._send_body, (), SYSTEM_PRIORITY, name="sys-send",
+            is_system=True)
+        self.recv_tid = scheduler.t_create(
+            self._recv_body, (), SYSTEM_PRIORITY, name="sys-recv",
+            is_system=True)
+        fc_body = self.fc.thread_body(None, self)
+        if fc_body is not None:
+            self.fc_tid = scheduler.t_create(
+                fc_body, (), SYSTEM_PRIORITY, name="sys-fc", is_system=True)
+        ec_body = self.ec.thread_body(None, self)
+        if ec_body is not None:
+            self.ec_tid = scheduler.t_create(
+                ec_body, (), SYSTEM_PRIORITY, name="sys-ec", is_system=True)
+
+    @property
+    def has_pending_work(self) -> bool:
+        """True while the send machinery still owes work — the scheduler
+        must not shut down mid-transmission (e.g. a barrier release or
+        credit queued just as the last user thread finished) or while
+        error control still holds unacknowledged messages."""
+        return (bool(self.send_q) or self._send_inflight > 0
+                or self.ec.has_pending())
+
+    # ------------------------------------------------------------ op handling
+    def handle_op(self, thread: NcsThread, op: Any) -> bool:
+        """Dispatch an MPS op from the scheduler.  Returns True when the
+        thread was blocked."""
+        if isinstance(op, ops.Send):
+            return self._handle_send(thread, op)
+        if isinstance(op, ops.Recv):
+            return self._handle_recv(thread, op)
+        if isinstance(op, ops.Probe):
+            return self._handle_probe(thread, op)
+        if isinstance(op, ops.Bcast):
+            return self._handle_bcast(thread, op)
+        if isinstance(op, ops.Barrier):
+            return self._handle_barrier(thread, op)
+        if isinstance(op, ops.Throw):
+            return self._handle_throw(thread, op)
+        raise TypeError(f"not an MPS op: {op!r}")
+
+    def _next_uid(self) -> tuple[int, int]:
+        self._msg_seq += 1
+        return (self.pid, self._msg_seq)
+
+    def _handle_send(self, thread: NcsThread, op: ops.Send) -> bool:
+        if not (0 <= op.to_process < self.cluster.n_hosts):
+            raise ValueError(f"NCS_send: no such process {op.to_process}")
+        msg = NcsMessage(
+            from_thread=thread.tid, from_process=self.pid,
+            to_thread=op.to_thread, to_process=op.to_process,
+            data=op.data, size=op.size, tag=op.tag,
+            msg_uid=self._next_uid())
+        self.data_sent += 1
+        tid = thread.tid
+        self._enqueue_send(SendRequest(
+            msg, notify=lambda: self.scheduler.wake_from_op(tid)))
+        self.scheduler._block(thread, "ncs-send", Activity.COMMUNICATE)
+        return True
+
+    def _handle_bcast(self, thread: NcsThread, op: ops.Bcast) -> bool:
+        targets = list(op.targets)
+        if op.dedup_processes:
+            seen: set[int] = set()
+            deduped = []
+            for ttid, tpid in targets:
+                if tpid not in seen:
+                    seen.add(tpid)
+                    deduped.append((ANY_THREAD, tpid))
+            targets = deduped
+        if not targets:
+            thread.resume_value = None
+            return False
+        remaining = {"n": len(targets)}
+        tid = thread.tid
+
+        def one_done():
+            remaining["n"] -= 1
+            if remaining["n"] == 0:
+                self.scheduler.wake_from_op(tid)
+
+        for ttid, tpid in targets:
+            if not (0 <= tpid < self.cluster.n_hosts):
+                raise ValueError(f"NCS_bcast: no such process {tpid}")
+            msg = NcsMessage(
+                from_thread=thread.tid, from_process=self.pid,
+                to_thread=ttid, to_process=tpid,
+                data=op.data, size=op.size, tag=op.tag,
+                msg_uid=self._next_uid())
+            self.data_sent += 1
+            self._enqueue_send(SendRequest(msg, notify=one_done))
+        self.scheduler._block(thread, "ncs-send", Activity.COMMUNICATE)
+        return True
+
+    def _handle_recv(self, thread: NcsThread, op: ops.Recv) -> bool:
+        poison = self._poison.pop(thread.tid, None)
+        if poison is not None:
+            thread.resume_exc = poison
+            return False
+        req = RecvRequest(thread, op.from_thread, op.from_process, op.tag)
+        self.recv_reqs.append(req)
+        self.scheduler._block(thread, "ncs-recv", Activity.COMMUNICATE)
+        self._signal_recv()
+        if op.timeout is not None:
+            def _expire(ev, req=req, seconds=op.timeout):
+                if req in self.recv_reqs:
+                    self.recv_reqs.remove(req)
+                    self.scheduler.wake_from_op(
+                        req.thread.tid, exc=RecvTimeout(seconds))
+            self.sim.timeout(op.timeout).add_callback(_expire)
+        return True
+
+    def _handle_probe(self, thread: NcsThread, op: ops.Probe) -> bool:
+        thread.resume_value = self.mailbox.poll(
+            lambda m: m.matches(op.from_thread, op.from_process,
+                                thread.tid, self.pid, op.tag))
+        return False
+
+    def _handle_barrier(self, thread: NcsThread, op: ops.Barrier) -> bool:
+        parties = self.barrier_parties.get(op.barrier_id, op.parties)
+        if parties < 1:
+            raise ValueError(
+                f"barrier {op.barrier_id} has no registered parties; "
+                "use NcsRuntime.register_barrier or pass parties=")
+        self._barrier_blocked[thread.tid] = op.barrier_id
+        self._enqueue_send(SendRequest(NcsMessage(
+            from_thread=thread.tid, from_process=self.pid,
+            to_thread=ANY_THREAD, to_process=BARRIER_COORDINATOR,
+            data=(op.barrier_id, parties, self.pid, thread.tid),
+            size=CONTROL_BYTES, kind=ControlKind.BARRIER_ARRIVE,
+            msg_uid=self._next_uid())))
+        self.scheduler._block(thread, "ncs-barrier", Activity.IDLE)
+        return True
+
+    def _handle_throw(self, thread: NcsThread, op: ops.Throw) -> bool:
+        self._enqueue_send(SendRequest(NcsMessage(
+            from_thread=thread.tid, from_process=self.pid,
+            to_thread=op.to_thread, to_process=op.to_process,
+            data=op.exc, size=CONTROL_BYTES, kind=ControlKind.THROW,
+            msg_uid=self._next_uid())))
+        thread.resume_value = None
+        return False
+
+    # -------------------------------------------------------------- sending
+    def _enqueue_send(self, req: SendRequest) -> None:
+        self.send_q.append(req)
+        if self._send_signal is not None and not self._send_signal.triggered:
+            self._send_signal.succeed(None)
+
+    def send_control_credit(self, dest_pid: int, nbytes: int) -> None:
+        """Receive-side window FC: hand a credit back to the sender."""
+        self._enqueue_send(SendRequest(NcsMessage(
+            from_thread=ANY_THREAD, from_process=self.pid,
+            to_thread=ANY_THREAD, to_process=dest_pid,
+            data=nbytes, size=CONTROL_BYTES, kind=ControlKind.CREDIT,
+            msg_uid=self._next_uid())))
+
+    def on_message_lost(self, msg: NcsMessage) -> None:
+        """Error control exhausted its retries."""
+        self.lost_messages.append(msg)
+
+    def _send_body(self, ctx):
+        """The send system thread (Fig 8)."""
+        while True:
+            if not self.send_q:
+                self._send_signal = self.sim.event(name=f"sendsig:{self.pid}")
+                yield ops.WaitEvent(self._send_signal)
+                self._send_signal = None
+                continue
+            req = self.send_q.popleft()
+            self._send_inflight += 1
+            try:
+                msg = req.msg
+                if (msg.kind is ControlKind.DATA
+                        and msg.to_process != self.pid):
+                    gate = self.fc.acquire(msg.to_process, msg.size)
+                    if gate is not None:
+                        yield ops.WaitEvent(gate)
+                if msg.to_process == self.pid:
+                    # intra-process: one memcpy, no transport (the FFT's
+                    # last exchange step is local for exactly this reason)
+                    yield ops.Compute(
+                        self.host.cpu.copy_time(msg.size, LOCAL_COPY_ACCESSES),
+                        label="ncs:local-copy", activity=Activity.COMMUNICATE)
+                    self._on_arrival(msg)
+                else:
+                    accepted = self.transport.start_send(msg)
+                    yield ops.WaitEvent(accepted)
+                    if self.ec.wants_acks and msg.kind is ControlKind.DATA:
+                        self.ec.on_sent(msg)
+                if req.notify is not None:
+                    req.notify()
+            finally:
+                self._send_inflight -= 1
+
+    # ------------------------------------------------------------- receiving
+    def _signal_recv(self) -> None:
+        if self._recv_signal is not None and not self._recv_signal.triggered:
+            self._recv_signal.succeed(None)
+
+    def _on_arrival(self, msg: NcsMessage) -> None:
+        """Transport delivery (no CPU charged here; pumps are free)."""
+        if msg.kind is not ControlKind.DATA:
+            self._handle_control(msg)
+            return
+        if self.ec.wants_acks and msg.from_process != self.pid:
+            dup = self.ec.is_duplicate(msg)
+            self._enqueue_send(SendRequest(NcsMessage(
+                from_thread=ANY_THREAD, from_process=self.pid,
+                to_thread=ANY_THREAD, to_process=msg.from_process,
+                data=msg.msg_uid, size=CONTROL_BYTES, kind=ControlKind.ACK,
+                msg_uid=self._next_uid())))
+            if dup:
+                return
+        self.mailbox.deliver(msg)
+
+    def _handle_control(self, msg: NcsMessage) -> None:
+        kind = msg.kind
+        if kind is ControlKind.CREDIT:
+            self.fc.on_credit(msg.from_process, msg.data)
+        elif kind is ControlKind.ACK:
+            self.ec.on_ack(msg.data)
+        elif kind is ControlKind.NACK:
+            self.ec.on_nack(msg.data)
+        elif kind is ControlKind.BARRIER_ARRIVE:
+            self._coordinate_barrier(msg)
+        elif kind is ControlKind.BARRIER_RELEASE:
+            barrier_id, tid = msg.data
+            if self._barrier_blocked.pop(tid, None) is not None:
+                self.scheduler.wake_from_op(tid, value=None)
+        elif kind is ControlKind.THROW:
+            self._deliver_throw(msg)
+        else:  # pragma: no cover - enum is closed
+            raise RuntimeError(f"unknown control kind {kind}")
+
+    def _coordinate_barrier(self, msg: NcsMessage) -> None:
+        barrier_id, parties, pid, tid = msg.data
+        arrived = self._barrier_arrived.setdefault(barrier_id, [])
+        arrived.append((pid, tid))
+        if len(arrived) >= parties:
+            self._barrier_arrived[barrier_id] = []
+            for rpid, rtid in arrived:
+                self._enqueue_send(SendRequest(NcsMessage(
+                    from_thread=ANY_THREAD, from_process=self.pid,
+                    to_thread=rtid, to_process=rpid,
+                    data=(barrier_id, rtid), size=CONTROL_BYTES,
+                    kind=ControlKind.BARRIER_RELEASE,
+                    msg_uid=self._next_uid())))
+
+    def _deliver_throw(self, msg: NcsMessage) -> None:
+        exc = RemoteException(msg.from_thread, msg.from_process, msg.data)
+        # fail a pending recv of the target thread, else poison the next
+        for i, req in enumerate(self.recv_reqs):
+            if msg.to_thread in (ANY_THREAD, req.thread.tid):
+                del self.recv_reqs[i]
+                self.scheduler.wake_from_op(req.thread.tid, exc=exc)
+                return
+        if msg.to_thread != ANY_THREAD:
+            self._poison[msg.to_thread] = exc
+
+    def _find_match(self) -> Optional[tuple[RecvRequest, NcsMessage]]:
+        for req in self.recv_reqs:
+            msg = self.mailbox.take(
+                lambda m, r=req: m.matches(r.from_thread, r.from_process,
+                                           r.thread.tid, self.pid, r.tag))
+            if msg is not None:
+                return req, msg
+        return None
+
+    def _recv_body(self, ctx):
+        """The receive system thread (Fig 8)."""
+        while True:
+            match = self._find_match()
+            if match is None:
+                arrival = self.mailbox.arrival_event()
+                self._recv_signal = self.sim.event(name=f"recvsig:{self.pid}")
+                combined = self.sim.any_of([arrival, self._recv_signal])
+                yield ops.WaitEvent(combined)
+                self._recv_signal = None
+                continue
+            req, msg = match
+            self.recv_reqs.remove(req)
+            if msg.from_process == self.pid:
+                cost = self.host.cpu.copy_time(msg.size, LOCAL_COPY_ACCESSES)
+            else:
+                cost = self.transport.recv_cost(msg.size)
+            yield ops.Compute(cost, label="ncs:recv-copy",
+                              activity=Activity.COMMUNICATE)
+            if self.fc.wants_credits and msg.from_process != self.pid:
+                self.fc.on_data_delivered(msg)
+            self.data_received += 1
+            self.scheduler.wake_from_op(req.thread.tid, value=msg)
+
+    # --------------------------------------------------------------- cleanup
+    def on_thread_exit(self, thread: NcsThread) -> None:
+        """Scheduler callback when any thread finishes."""
+        self._poison.pop(thread.tid, None)
+        self.recv_reqs = [r for r in self.recv_reqs if r.thread is not thread]

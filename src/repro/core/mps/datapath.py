@@ -1,0 +1,79 @@
+"""The Fig 3 datapath accounting: memory-bus accesses per word of data.
+
+Paper §3 ("Reduce number of data accesses"):
+
+* **Socket/TCP path (Fig 3a)** — the application writes its buffer (1),
+  the socket layer copies it into a kernel buffer (read + write = 2),
+  TCP reads it for checksum/processing (1) and it is copied out to the
+  network interface (1): **5 accesses per word**, and a full syscall to
+  enter the kernel.
+* **NCS path (Fig 3b)** — the application writes its buffer (1) and NCS
+  copies it into the kernel buffers it has ``mmap()``ed into its own
+  address space (read + write = 2); the interface then pulls the data by
+  DMA without touching the CPU: **3 accesses per word**, entered by a
+  cheap trap instead of a syscall.
+
+The application's own write (the first access in both columns) happens
+during compute, so the *communication-time* costs are 4 vs 2 accesses
+per word; both accountings are exposed here and the Fig 3 benchmark
+prints both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...hosts import CpuModel, OsCosts
+
+__all__ = ["DatapathModel", "SOCKET_DATAPATH", "NCS_DATAPATH",
+           "ZERO_COPY_DATAPATH"]
+
+
+@dataclass(frozen=True)
+class DatapathModel:
+    """Cost model of one send/receive datapath."""
+
+    name: str
+    #: total accesses per word in the paper's Fig 3 accounting
+    total_accesses_per_word: int
+    #: accesses per word charged at communication time (excludes the
+    #: application's own buffer write)
+    comm_accesses_per_word: int
+    #: True: kernel entered by trap; False: full syscall
+    uses_trap: bool
+
+    def entry_cost(self, os: OsCosts) -> float:
+        return os.trap_time if self.uses_trap else os.syscall_time
+
+    def comm_copy_time(self, cpu: CpuModel, nbytes: int) -> float:
+        """CPU time to move ``nbytes`` through this datapath (one side)."""
+        return cpu.copy_time(nbytes, self.comm_accesses_per_word)
+
+    def one_way_cpu_time(self, cpu: CpuModel, os: OsCosts,
+                         nbytes: int) -> float:
+        """Entry + copy for one send (or one receive)."""
+        return self.entry_cost(os) + self.comm_copy_time(cpu, nbytes)
+
+
+SOCKET_DATAPATH = DatapathModel(
+    name="socket/tcp (Fig 3a)",
+    total_accesses_per_word=5,
+    comm_accesses_per_word=4,
+    uses_trap=False,
+)
+
+NCS_DATAPATH = DatapathModel(
+    name="NCS mmap+trap (Fig 3b)",
+    total_accesses_per_word=3,
+    comm_accesses_per_word=2,
+    uses_trap=True,
+)
+
+#: hypothetical lower bound used by the ablation benchmark: the adapter
+#: DMAs straight out of the application buffer (single-copy/zero-copy).
+ZERO_COPY_DATAPATH = DatapathModel(
+    name="zero-copy (ablation)",
+    total_accesses_per_word=1,
+    comm_accesses_per_word=0,
+    uses_trap=True,
+)

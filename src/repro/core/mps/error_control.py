@@ -1,0 +1,169 @@
+"""Pluggable error control (the EC thread of Fig 8).
+
+Approach 1 inherits p4's (really TCP's) reliability, "and uses the flow
+and error control provided by p4" (§4.1).  Approach 2 runs on raw AAL5,
+where a corrupted cell kills a whole PDU with no recovery below NCS —
+so the EC thread implements message-level positive-ack retransmission:
+
+* the sender's EC thread keeps a copy of every un-acked data message and
+  retransmits after ``timeout_s`` (doubling, up to ``max_retries``);
+* the receiver's MPS acks each data message as it is delivered and
+  deduplicates retransmitted copies by ``msg_uid``;
+* an AAL5 CRC failure reported by the adapter triggers an immediate NACK
+  so recovery does not wait for the timer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ...sim import Event
+from ..mts import ops
+
+__all__ = ["ErrorControl", "NoErrorControl", "AckRetransmitErrorControl",
+           "make_error_control", "MessageLost"]
+
+
+class MessageLost(RuntimeError):
+    """Raised to a sending thread when retransmission gives up."""
+
+
+class ErrorControl:
+    """Strategy interface."""
+
+    name = "base"
+    #: does the receiver need to ACK data messages?
+    wants_acks = False
+
+    def bind(self, mps: Any) -> None:
+        self.mps = mps
+        self.sim = mps.sim
+
+    def has_pending(self) -> bool:
+        """True while unacked/retransmittable messages remain — keeps the
+        scheduler alive until reliability obligations are met."""
+        return False
+
+    def on_sent(self, msg) -> None:
+        """Sender-side: message handed to the transport."""
+
+    def on_ack(self, msg_uid) -> None:
+        """Sender-side: receiver confirmed delivery."""
+
+    def on_nack(self, msg_uid) -> None:
+        """Sender-side: receiver saw a corrupted PDU for this message."""
+
+    def is_duplicate(self, msg) -> bool:
+        """Receiver-side dedup for retransmitted messages."""
+        return False
+
+    def thread_body(self, ctx, mps):
+        return None
+
+
+class NoErrorControl(ErrorControl):
+    """Trust the transport (TCP, or an error-free fabric)."""
+
+    name = "none"
+
+
+class AckRetransmitErrorControl(ErrorControl):
+    """Positive-ack + timeout retransmission at message level."""
+
+    name = "ack"
+    wants_acks = True
+
+    def __init__(self, timeout_s: float = 0.05, max_retries: int = 8,
+                 check_interval_s: float = 0.01):
+        if timeout_s <= 0 or check_interval_s <= 0:
+            raise ValueError("timeouts must be positive")
+        if max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.check_interval_s = check_interval_s
+        #: msg_uid -> [msg, deadline, retries]
+        self._unacked: dict[tuple, list] = {}
+        self._seen: set[tuple] = set()
+        self._nacked: list[tuple] = []
+        self._signal: Optional[Event] = None
+        #: statistics
+        self.retransmissions = 0
+        self.gave_up = 0
+
+    def has_pending(self) -> bool:
+        return bool(self._unacked or self._nacked)
+
+    # ----------------------------------------------------------- sender side
+    def on_sent(self, msg) -> None:
+        if msg.msg_uid not in self._unacked:
+            self._unacked[msg.msg_uid] = [msg, self.sim.now + self.timeout_s, 0]
+            self._kick()
+
+    def on_ack(self, msg_uid) -> None:
+        self._unacked.pop(tuple(msg_uid), None)
+
+    def on_nack(self, msg_uid) -> None:
+        uid = tuple(msg_uid)
+        if uid in self._unacked:
+            self._nacked.append(uid)
+            self._kick()
+
+    def _kick(self) -> None:
+        if self._signal is not None and not self._signal.triggered:
+            self._signal.succeed(None)
+
+    # --------------------------------------------------------- receiver side
+    def is_duplicate(self, msg) -> bool:
+        uid = tuple(msg.msg_uid)
+        if uid in self._seen:
+            return True
+        self._seen.add(uid)
+        return False
+
+    # ------------------------------------------------------------ EC thread
+    def thread_body(self, ctx, mps):
+        def body(tctx):
+            while True:
+                # immediate NACK-driven retransmissions
+                while self._nacked:
+                    uid = self._nacked.pop()
+                    entry = self._unacked.get(uid)
+                    if entry is not None:
+                        yield from self._retransmit(uid, entry)
+                if not self._unacked:
+                    self._signal = self.sim.event(name="ec-signal")
+                    yield ops.WaitEvent(self._signal)
+                    continue
+                yield ops.Sleep(self.check_interval_s)
+                now = self.sim.now
+                for uid, entry in list(self._unacked.items()):
+                    if entry[1] <= now:
+                        yield from self._retransmit(uid, entry)
+        return body
+
+    def _retransmit(self, uid, entry):
+        msg, _, retries = entry
+        if retries >= self.max_retries:
+            self.gave_up += 1
+            del self._unacked[uid]
+            self.mps.on_message_lost(msg)
+            return
+        entry[2] += 1
+        backoff = self.timeout_s * (2 ** entry[2])
+        entry[1] = self.sim.now + backoff
+        self.retransmissions += 1
+        accepted = self.mps.transport.start_send(msg)
+        yield ops.WaitEvent(accepted)
+
+
+def make_error_control(spec: Optional[str | ErrorControl],
+                       **kwargs) -> ErrorControl:
+    """``NCS_init(..., error)``: resolve a strategy by name."""
+    if spec is None or spec == "none":
+        return NoErrorControl()
+    if isinstance(spec, ErrorControl):
+        return spec
+    if spec == "ack":
+        return AckRetransmitErrorControl(**kwargs)
+    raise ValueError(f"unknown error control {spec!r}")

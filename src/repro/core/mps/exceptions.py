@@ -1,0 +1,44 @@
+"""Exception handling for distributed NCS applications (§3.1).
+
+"Exception Handling is more difficult for distributed applications.  A
+few software tools provide functions that handle exceptions."  NCS
+provides:
+
+* :class:`RemoteException` — wraps an exception thrown at a remote
+  thread via the ``Throw`` op; it fails the target's pending (or next)
+  receive, carrying the origin's identity.
+* :class:`MessageLost` — re-exported from error control: retransmission
+  exhausted.
+* :class:`NcsError` — base class for all NCS-level errors.
+"""
+
+from __future__ import annotations
+
+from .error_control import MessageLost
+
+__all__ = ["NcsError", "RecvTimeout", "RemoteException", "MessageLost"]
+
+
+class NcsError(RuntimeError):
+    """Base class for NCS runtime errors."""
+
+
+class RecvTimeout(NcsError):
+    """An ``NCS_recv`` with a timeout expired before a match arrived."""
+
+    def __init__(self, seconds: float):
+        super().__init__(f"NCS_recv timed out after {seconds:.6g}s")
+        self.seconds = seconds
+
+
+class RemoteException(NcsError):
+    """An exception delivered from another thread (possibly remote)."""
+
+    def __init__(self, origin_thread: int, origin_process: int,
+                 cause: BaseException):
+        super().__init__(
+            f"exception from thread {origin_thread} on process "
+            f"{origin_process}: {cause!r}")
+        self.origin_thread = origin_thread
+        self.origin_process = origin_process
+        self.cause = cause

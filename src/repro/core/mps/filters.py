@@ -1,0 +1,206 @@
+"""Message-passing filters (Fig 6/Fig 12): p4, PVM and MPI surfaces
+mapped onto NCS primitives.
+
+"The message passing filters shown in the figure allow p4, PVM and other
+message passing tools' primitives to be mapped to NCS primitives" — so
+that "any parallel/distributed application written using these tools can
+be ported to NCS without any change" (§4.2).
+
+Each filter is instantiated *inside a thread body* around the thread's
+context; its methods return ops to yield.  Process-addressed libraries
+(all three) map a destination process to ``(ANY_THREAD, pid)`` so any
+thread of the target process may receive.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from ..mts import ops
+from ..mts.thread import ThreadContext
+from .message import ANY, ANY_THREAD, NcsMessage
+
+__all__ = ["P4Filter", "PvmFilter", "MpiFilter", "MpiStatus"]
+
+
+class P4Filter:
+    """p4 primitives over NCS (the p4-appl box of Fig 12)."""
+
+    def __init__(self, ctx: ThreadContext):
+        self.ctx = ctx
+
+    def get_my_id(self) -> int:
+        return self.ctx.my_pid
+
+    def send(self, type_: int, dest: int, data: Any, size: int) -> ops.Send:
+        """``p4_send`` -> NCS_send to any thread of ``dest``."""
+        return ops.Send(ANY_THREAD, dest, data, size, tag=type_)
+
+    def recv(self, type_: int = -1, from_: int = -1) -> ops.Recv:
+        """``p4_recv`` -> NCS_recv with the p4 type as the tag."""
+        return ops.Recv(ANY, from_, tag=type_)
+
+    @staticmethod
+    def unpack(msg: NcsMessage) -> tuple[int, int, Any, int]:
+        """(type, from, data, size) — the p4_recv out-parameters."""
+        return msg.tag, msg.from_process, msg.data, msg.size
+
+
+class PvmFilter:
+    """PVM 3 primitives over NCS.
+
+    PVM addresses *tasks* by a packed integer tid; we pack
+    ``(pid << 16) | thread_tid`` so NCS threads are PVM tasks, with
+    thread 0xFFFF meaning "any thread of the process".
+    """
+
+    ANY_TASK_THREAD = 0xFFFF
+
+    def __init__(self, ctx: ThreadContext):
+        self.ctx = ctx
+
+    def mytid(self) -> int:
+        return self.pack(self.ctx.my_pid, self.ctx.my_tid)
+
+    @staticmethod
+    def pack(pid: int, thread_tid: int) -> int:
+        if not (0 <= thread_tid <= 0xFFFF):
+            raise ValueError("thread id out of PVM packing range")
+        return (pid << 16) | thread_tid
+
+    @staticmethod
+    def unpack_tid(tid: int) -> tuple[int, int]:
+        pid, ttid = tid >> 16, tid & 0xFFFF
+        return pid, (ANY_THREAD if ttid == PvmFilter.ANY_TASK_THREAD else ttid)
+
+    def psend(self, tid: int, msgtag: int, data: Any, size: int) -> ops.Send:
+        """``pvm_psend``."""
+        pid, ttid = self.unpack_tid(tid)
+        return ops.Send(ttid, pid, data, size, tag=msgtag)
+
+    def precv(self, tid: int = -1, msgtag: int = -1) -> ops.Recv:
+        """``pvm_precv``; ``tid=-1`` receives from any task."""
+        if tid == -1:
+            return ops.Recv(ANY, ANY, tag=msgtag)
+        pid, ttid = self.unpack_tid(tid)
+        return ops.Recv(ttid, pid, tag=msgtag)
+
+    def mcast(self, tids: Sequence[int], msgtag: int, data: Any,
+              size: int) -> ops.Bcast:
+        """``pvm_mcast``."""
+        targets = [self.unpack_tid(t)[::-1] for t in tids]
+        targets = [(ttid, pid) for (ttid, pid) in targets]
+        return ops.Bcast(tuple(targets), data, size, tag=msgtag)
+
+
+class MpiStatus:
+    """The subset of ``MPI_Status`` the filter fills in."""
+
+    def __init__(self, msg: NcsMessage):
+        self.source = msg.from_process
+        self.tag = msg.tag
+        self.count = msg.size
+
+
+class MpiFilter:
+    """MPI-1 style primitives over NCS; ranks are process ids."""
+
+    ANY_SOURCE = -1
+    ANY_TAG = -1
+
+    def __init__(self, ctx: ThreadContext, comm_size: int):
+        self.ctx = ctx
+        self.comm_size = comm_size
+
+    def comm_rank(self) -> int:
+        return self.ctx.my_pid
+
+    def comm_size_(self) -> int:
+        return self.comm_size
+
+    def send(self, data: Any, nbytes: int, dest: int, tag: int = 0) -> ops.Send:
+        """``MPI_Send``."""
+        if not (0 <= dest < self.comm_size):
+            raise ValueError(f"rank {dest} out of communicator")
+        return ops.Send(ANY_THREAD, dest, data, nbytes, tag=tag)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> ops.Recv:
+        """``MPI_Recv``; combine with :class:`MpiStatus` for metadata."""
+        return ops.Recv(ANY, source, tag=tag)
+
+    def bcast_from_root(self, root: int, data: Any, nbytes: int,
+                        tag: int = -7):
+        """``MPI_Bcast`` (generator helper: yield from).
+
+        The root sends to every rank; non-roots receive and return the
+        data.
+        """
+        if self.ctx.my_pid == root:
+            targets = [(ANY_THREAD, r) for r in range(self.comm_size)
+                       if r != root]
+            if targets:
+                yield ops.Bcast(tuple(targets), data, nbytes, tag=tag)
+            return data
+        msg = yield self.recv(source=root, tag=tag)
+        return msg.data
+
+    def barrier(self, barrier_id: int = -1) -> ops.Barrier:
+        """``MPI_Barrier`` over the runtime's registered barrier."""
+        return ops.Barrier(barrier_id, parties=self.comm_size)
+
+    # ---- collectives (generator helpers, rank-addressed) ----------------
+    _GATHER_TAG = -31
+    _SCATTER_TAG = -32
+    _REDUCE_TAG = -33
+
+    def gather(self, root: int, data: Any, nbytes: int):
+        """``MPI_Gather``: the root returns ``[data_rank0, ...]`` in rank
+        order; non-roots return None.  (Generator: yield from.)"""
+        me = self.ctx.my_pid
+        if me == root:
+            parts: dict[int, Any] = {me: data}
+            for _ in range(self.comm_size - 1):
+                msg = yield ops.Recv(ANY, ANY, tag=self._GATHER_TAG)
+                parts[msg.from_process] = msg.data
+            return [parts[r] for r in range(self.comm_size)]
+        yield ops.Send(ANY_THREAD, root, data, nbytes, tag=self._GATHER_TAG)
+        return None
+
+    def scatter(self, root: int, parts: Optional[Sequence[Any]],
+                nbytes: int):
+        """``MPI_Scatter``: every rank returns its part (rank-indexed
+        from the root's ``parts``)."""
+        me = self.ctx.my_pid
+        if me == root:
+            if parts is None or len(parts) != self.comm_size:
+                raise ValueError("root must supply one part per rank")
+            for r in range(self.comm_size):
+                if r != root:
+                    yield ops.Send(ANY_THREAD, r, parts[r], nbytes,
+                                   tag=self._SCATTER_TAG)
+            return parts[root]
+        msg = yield ops.Recv(ANY, root, tag=self._SCATTER_TAG)
+        return msg.data
+
+    def reduce(self, root: int, data: Any, nbytes: int, op):
+        """``MPI_Reduce`` with a binary ``op``; the root returns the
+        combined value, others None.  Combination order is rank order."""
+        me = self.ctx.my_pid
+        if me == root:
+            parts = {me: data}
+            for _ in range(self.comm_size - 1):
+                msg = yield ops.Recv(ANY, ANY, tag=self._REDUCE_TAG)
+                parts[msg.from_process] = msg.data
+            acc = parts[0]
+            for r in range(1, self.comm_size):
+                acc = op(acc, parts[r])
+            return acc
+        yield ops.Send(ANY_THREAD, root, data, nbytes, tag=self._REDUCE_TAG)
+        return None
+
+    def allreduce(self, data: Any, nbytes: int, op, root: int = 0):
+        """``MPI_Allreduce`` = reduce at ``root`` + bcast of the result."""
+        total = yield from self.reduce(root, data, nbytes, op)
+        result = yield from self.bcast_from_root(root, total, nbytes,
+                                                 tag=-34)
+        return result

@@ -1,0 +1,223 @@
+"""Pluggable flow control (the FC threads of Figs 5 and 8).
+
+"NCS provides different flow control mechanisms such that the one that
+best suites a given application can be invoked dynamically at runtime."
+(§3)  A Video-on-Demand stream wants paced, rate-based injection; a bulk
+parallel application wants a credit window; a barrier-heavy code may
+want none at all.
+
+Each strategy plugs into the MPS at two points:
+
+* the **send thread** calls :meth:`acquire` before pushing a message to
+  the transport — the returned event (if any) is what the FC thread will
+  fire when the message may proceed;
+* the **receive thread** calls :meth:`on_data_delivered` so window
+  strategies can return credits to the sender (as MPS control traffic).
+
+Strategies that need background work (token refill, credit application)
+provide a ``thread_body`` that NCS installs as the FC system thread —
+matching the paper's architecture where flow control is itself a thread.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from ...sim import Event, Simulator
+from ..mts import ops
+
+__all__ = ["FlowControl", "NoFlowControl", "WindowFlowControl",
+           "RateFlowControl", "make_flow_control"]
+
+
+class FlowControl:
+    """Strategy interface."""
+
+    name = "base"
+    #: does this strategy need the receiver to send credits back?
+    wants_credits = False
+
+    def bind(self, mps: Any) -> None:
+        self.mps = mps
+        self.sim: Simulator = mps.sim
+
+    def acquire(self, dest_pid: int, nbytes: int) -> Optional[Event]:
+        """None: proceed now.  Event: the send thread must wait on it."""
+        raise NotImplementedError
+
+    def on_data_delivered(self, msg) -> None:
+        """Receive-side hook (credit generation)."""
+
+    def on_credit(self, from_pid: int, nbytes: int) -> None:
+        """Sender-side hook when a CREDIT control message arrives."""
+
+    def thread_body(self, ctx, mps):
+        """Optional FC system-thread body; None means no thread needed."""
+        return None
+
+
+class NoFlowControl(FlowControl):
+    """Fire at will (the default; TCP below provides its own limits)."""
+
+    name = "none"
+
+    def acquire(self, dest_pid: int, nbytes: int) -> Optional[Event]:
+        return None
+
+
+class WindowFlowControl(FlowControl):
+    """At most ``window_bytes`` of un-credited data per destination.
+
+    The receiver's MPS returns a CREDIT control message for every data
+    message it hands to the application, so a slow consumer back-
+    pressures the sender — what TCP's window does, but at message level
+    and per NCS destination.
+    """
+
+    name = "window"
+    wants_credits = True
+
+    def __init__(self, window_bytes: int = 64 * 1024):
+        if window_bytes < 1:
+            raise ValueError("window must be positive")
+        self.window_bytes = window_bytes
+        self._outstanding: dict[int, int] = {}
+        self._waiters: Deque[tuple[int, int, Event]] = deque()
+        #: credits queued for the FC thread to apply
+        self._credit_q: Deque[tuple[int, int]] = deque()
+        self._credit_signal: Optional[Event] = None
+
+    def outstanding(self, dest_pid: int) -> int:
+        return self._outstanding.get(dest_pid, 0)
+
+    def acquire(self, dest_pid: int, nbytes: int) -> Optional[Event]:
+        take = min(nbytes, self.window_bytes)  # one oversized msg still fits
+        if self.outstanding(dest_pid) + take <= self.window_bytes:
+            self._outstanding[dest_pid] = self.outstanding(dest_pid) + take
+            return None
+        ev = self.sim.event(name="fc-window-wait")
+        self._waiters.append((dest_pid, take, ev))
+        return ev
+
+    def on_data_delivered(self, msg) -> None:
+        # receiver side: hand a credit back to the sender
+        self.mps.send_control_credit(msg.from_process,
+                                     min(msg.size, self.window_bytes))
+
+    def on_credit(self, from_pid: int, nbytes: int) -> None:
+        self._credit_q.append((from_pid, nbytes))
+        if self._credit_signal is not None and not self._credit_signal.triggered:
+            self._credit_signal.succeed(None)
+
+    def _apply_credits(self) -> None:
+        while self._credit_q:
+            pid, nbytes = self._credit_q.popleft()
+            self._outstanding[pid] = max(0, self.outstanding(pid) - nbytes)
+        # admit as many waiters as now fit, FIFO per arrival
+        still_waiting: Deque[tuple[int, int, Event]] = deque()
+        while self._waiters:
+            dest, take, ev = self._waiters.popleft()
+            if self.outstanding(dest) + take <= self.window_bytes:
+                self._outstanding[dest] = self.outstanding(dest) + take
+                ev.succeed(None)
+            else:
+                still_waiting.append((dest, take, ev))
+        self._waiters = still_waiting
+
+    def thread_body(self, ctx, mps):
+        """The FC system thread: applies credits and wakes the send path."""
+        def body(tctx):
+            while True:
+                if self._credit_q:
+                    self._apply_credits()
+                    continue
+                self._credit_signal = self.sim.event(name="fc-credit-signal")
+                yield ops.WaitEvent(self._credit_signal)
+        return body
+
+
+class RateFlowControl(FlowControl):
+    """Leaky-bucket pacing: ``rate_bytes_s`` sustained, ``bucket_bytes``
+    burst — the VOD-style contract of Fig 5."""
+
+    name = "rate"
+
+    def __init__(self, rate_bytes_s: float, bucket_bytes: int = 64 * 1024):
+        if rate_bytes_s <= 0:
+            raise ValueError("rate must be positive")
+        if bucket_bytes < 1:
+            raise ValueError("bucket must be positive")
+        self.rate = rate_bytes_s
+        self.bucket = bucket_bytes
+        self._tokens = float(bucket_bytes)
+        self._last_refill = 0.0
+        self._waiters: Deque[tuple[int, Event]] = deque()
+        self._wake: Optional[Event] = None
+
+    #: token-grant tolerance: refill arithmetic accumulates float error,
+    #: so "within a microbyte" counts as having the tokens (a strict
+    #: comparison can livelock on an epsilon deficit)
+    EPS_BYTES = 1e-6
+    #: shortest pacing sleep worth scheduling
+    MIN_SLEEP_S = 1e-6
+
+    def _refill(self) -> None:
+        now = self.sim.now
+        self._tokens = min(self.bucket,
+                           self._tokens + (now - self._last_refill) * self.rate)
+        self._last_refill = now
+
+    def _grantable(self, need: float) -> bool:
+        return self._tokens >= need - self.EPS_BYTES
+
+    def acquire(self, dest_pid: int, nbytes: int) -> Optional[Event]:
+        self._refill()
+        need = min(nbytes, self.bucket)
+        if not self._waiters and self._grantable(need):
+            self._tokens = max(0.0, self._tokens - need)
+            return None
+        ev = self.sim.event(name="fc-rate-wait")
+        self._waiters.append((need, ev))
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed(None)
+        return ev
+
+    def thread_body(self, ctx, mps):
+        """The FC thread sleeps exactly until the head waiter's tokens
+        will have accumulated, then releases it."""
+        def body(tctx):
+            while True:
+                if not self._waiters:
+                    self._wake = self.sim.event(name="fc-rate-signal")
+                    yield ops.WaitEvent(self._wake)
+                    continue
+                self._refill()
+                need, ev = self._waiters[0]
+                if self._grantable(need):
+                    self._waiters.popleft()
+                    self._tokens = max(0.0, self._tokens - need)
+                    ev.succeed(None)
+                    continue
+                deficit = need - self._tokens
+                yield ops.Sleep(max(deficit / self.rate, self.MIN_SLEEP_S))
+        return body
+
+
+def make_flow_control(spec: Optional[str | FlowControl],
+                      **kwargs) -> FlowControl:
+    """``NCS_init(flow, ...)``: resolve a strategy by name.
+
+    "If no argument is provided then default flow and error control
+    threads are used" — the default here is :class:`NoFlowControl`
+    (Approach 1 inherits p4/TCP's own control, exactly as §4.1 notes).
+    """
+    if spec is None or spec == "none":
+        return NoFlowControl()
+    if isinstance(spec, FlowControl):
+        return spec
+    if spec == "window":
+        return WindowFlowControl(**kwargs)
+    if spec == "rate":
+        return RateFlowControl(**kwargs)
+    raise ValueError(f"unknown flow control {spec!r}")

@@ -1,0 +1,238 @@
+"""NCS_MPS transports.
+
+Three interchangeable back-ends carry :class:`NcsMessage` s between
+processes; which one a runtime uses is the experiment variable in most
+of the benchmarks:
+
+* :class:`SocketTransport` — TCP/IP sockets: the **Normal Speed Mode**
+  tier of Fig 6 (interoperable, slower).
+* :class:`P4Transport` — the paper's **Approach 1** (Fig 11):
+  ``NCS_send``/``NCS_recv`` built from ``p4_send``/``p4_recv``/
+  ``p4_messages_available``.  This is the configuration behind every
+  number in Tables 1-3.
+* :class:`AtmTransport` — the paper's **Approach 2** (Fig 12) and the
+  **High Speed Mode** tier: straight onto the ATM API with mmap()ed
+  kernel buffers, traps, the 3-access datapath and the Fig 2
+  multiple-buffer pipeline.
+
+A transport's contract: ``start_send(msg)`` returns an *accepted* event
+(fires when the sender's user buffer is free — the point NCS_send
+unblocks); delivery happens by calling the handler installed with
+``set_delivery_handler`` with the reassembled message; ``recv_cost``
+is the CPU time the receive system thread charges to move a received
+message from kernel to user space.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ...hosts import Host
+from ...net.topology import Cluster, NodeStack
+from ...p4.api import LibraryStream, P4Message, P4Params
+from ...sim import Activity, Event
+from .buffers import BufferPipeline
+from .datapath import DatapathModel, NCS_DATAPATH, SOCKET_DATAPATH
+from .message import NcsMessage
+
+__all__ = ["NcsTransport", "SocketTransport", "P4Transport", "AtmTransport",
+           "LOCAL_COPY_ACCESSES"]
+
+#: thread-to-thread copy within one address space (plain memcpy)
+LOCAL_COPY_ACCESSES = 2
+
+#: the p4 message type NCS traffic travels under in Approach 1
+NCS_P4_TYPE = 1995
+
+
+class NcsTransport:
+    """Base class: local bookkeeping plus the delivery-handler plumbing."""
+
+    name = "base"
+
+    def __init__(self, cluster: Cluster, pid: int):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.pid = pid
+        self.stack: NodeStack = cluster.stack(pid)
+        self.host: Host = self.stack.host
+        self._deliver: Optional[Callable[[NcsMessage], None]] = None
+        #: statistics
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def set_delivery_handler(self, fn: Callable[[NcsMessage], None]) -> None:
+        self._deliver = fn
+        self._start_pumps()
+
+    def _start_pumps(self) -> None:
+        raise NotImplementedError
+
+    def start_send(self, msg: NcsMessage) -> Event:
+        """Launch the send path in background simulated time; the
+        returned event fires when the user buffer is reusable."""
+        raise NotImplementedError
+
+    def recv_cost(self, nbytes: int) -> float:
+        """CPU seconds to move a received message kernel -> user."""
+        raise NotImplementedError
+
+    # helper shared by subclasses
+    def _spawn(self, gen, accepted: Event, label: str) -> Event:
+        def runner():
+            yield from gen
+            if not accepted.triggered:
+                accepted.succeed(None)
+        self.sim.process(runner(), name=label)
+        return accepted
+
+
+class SocketTransport(NcsTransport):
+    """NSM: NCS messages as framed TCP messages (Fig 3a datapath)."""
+
+    name = "socket"
+    datapath: DatapathModel = SOCKET_DATAPATH
+
+    def __init__(self, cluster: Cluster, pid: int):
+        super().__init__(cluster, pid)
+
+    def _conn(self, peer_pid: int):
+        return self.stack.tcp.connection(self.cluster.host(peer_pid).name)
+
+    def _start_pumps(self) -> None:
+        for peer in range(self.cluster.n_hosts):
+            if peer != self.pid:
+                self.sim.process(self._pump(self._conn(peer)),
+                                 name=f"ncs-sock-pump:{self.pid}<-{peer}")
+
+    def _pump(self, conn):
+        while True:
+            payload, _ = yield conn.recv_message()
+            if isinstance(payload, NcsMessage) and self._deliver is not None:
+                self._deliver(payload)
+
+    def start_send(self, msg: NcsMessage) -> Event:
+        accepted = self.sim.event(name="ncs-sock-accepted")
+        self.messages_sent += 1
+        self.bytes_sent += msg.size
+        return self._spawn(self._send_path(msg), accepted,
+                           f"ncs-sock-tx:{self.pid}")
+
+    def _send_path(self, msg: NcsMessage):
+        host = self.host
+        yield from host.cpu_busy(self.datapath.entry_cost(host.os),
+                                 Activity.OVERHEAD, "ncs:syscall")
+        yield from host.cpu_busy(
+            self.datapath.comm_copy_time(host.cpu, msg.size),
+            Activity.COMMUNICATE, "ncs:copy")
+        conn = self._conn(msg.to_process)
+        yield from conn.send_message(msg, msg.wire_bytes)
+
+    def recv_cost(self, nbytes: int) -> float:
+        host = self.host
+        return (self.datapath.entry_cost(host.os)
+                + self.datapath.comm_copy_time(host.cpu, nbytes))
+
+
+class P4Transport(SocketTransport):
+    """Approach 1: NCS over p4 (adds p4's library overheads + envelope).
+
+    The receive side uses the moral equivalent of
+    ``p4_messages_available()`` + ``p4_recv()``: messages are pumped off
+    the sockets without charging the application, and the NCS receive
+    thread pays the p4 receive overhead when it claims one — so a
+    pending receive never parks the whole process (paper §4.2).
+    """
+
+    name = "p4"
+
+    def __init__(self, cluster: Cluster, pid: int,
+                 p4_params: Optional[P4Params] = None):
+        super().__init__(cluster, pid)
+        self.p4_params = p4_params or P4Params()
+        self._streams: dict[int, LibraryStream] = {}
+
+    def _stream(self, dest: int) -> LibraryStream:
+        stream = self._streams.get(dest)
+        if stream is None:
+            stream = self._streams[dest] = LibraryStream(
+                self.stack.socket, self._conn(dest))
+        return stream
+
+    def _pump(self, conn):
+        while True:
+            payload, _ = yield conn.recv_message()
+            if isinstance(payload, P4Message) and payload.type == NCS_P4_TYPE \
+                    and self._deliver is not None:
+                self._deliver(payload.data)
+
+    def _send_path(self, msg: NcsMessage):
+        # p4's buffered send: marshal + library copy in the send thread's
+        # context; the socket/TCP stream then proceeds asynchronously, so
+        # NCS_send unblocks the moment the user buffer is free.
+        p = self.p4_params
+        yield from self.host.cpu_busy(
+            p.send_overhead_s + msg.size * p.marshal_send_per_byte_s
+            + self.host.cpu.copy_time(msg.size, 2),
+            Activity.COMMUNICATE, "p4:send")
+        wrapped = P4Message(NCS_P4_TYPE, self.pid, msg, msg.wire_bytes)
+        self._stream(msg.to_process).submit(
+            wrapped, msg.wire_bytes + p.envelope_bytes)
+
+    def recv_cost(self, nbytes: int) -> float:
+        return (self.p4_params.recv_overhead_s
+                + nbytes * self.p4_params.marshal_recv_per_byte_s
+                + super().recv_cost(nbytes))
+
+
+class AtmTransport(NcsTransport):
+    """Approach 2 / HSM: straight onto the ATM API.
+
+    Uses the cluster's dedicated HSM PVC mesh, the Fig 2 buffer pipeline
+    and the Fig 3b three-access datapath.  This is the implementation the
+    paper describes in §4.2 as "not fully operational" at submission
+    time — built out here as designed, and benchmarked against Approach 1
+    in ``benchmarks/bench_fig12_approach2.py``.
+    """
+
+    name = "atm"
+    datapath: DatapathModel = NCS_DATAPATH
+
+    def __init__(self, cluster: Cluster, pid: int,
+                 datapath: DatapathModel = NCS_DATAPATH):
+        super().__init__(cluster, pid)
+        if self.stack.atm_api is None:
+            raise ValueError(
+                f"host {self.host.name} has no ATM interface; "
+                "AtmTransport needs an ATM or NYNET cluster")
+        self.datapath = datapath
+        self.atm_api = self.stack.atm_api
+        self.pipeline = BufferPipeline(self.host, self.atm_api.adapter,
+                                       datapath=datapath)
+
+    def _start_pumps(self) -> None:
+        for (src, dst), vc in self.cluster.hsm_vcs.items():
+            if dst == self.pid:
+                self.sim.process(self._pump(vc),
+                                 name=f"ncs-atm-pump:{dst}<-{src}")
+
+    def _pump(self, vc):
+        while True:
+            atm_msg = yield self.atm_api.recv(vc)
+            payload = atm_msg.payload
+            if isinstance(payload, NcsMessage) and self._deliver is not None:
+                self._deliver(payload)
+
+    def start_send(self, msg: NcsMessage) -> Event:
+        accepted = self.sim.event(name="ncs-atm-accepted")
+        self.messages_sent += 1
+        self.bytes_sent += msg.size
+        vc = self.cluster.hsm_vc(self.pid, msg.to_process)
+        return self._spawn(
+            self.pipeline.pipelined_send(vc, msg, msg.wire_bytes),
+            accepted, f"ncs-atm-tx:{self.pid}")
+
+    def recv_cost(self, nbytes: int) -> float:
+        host = self.host
+        return (self.datapath.entry_cost(host.os)
+                + self.datapath.comm_copy_time(host.cpu, nbytes))

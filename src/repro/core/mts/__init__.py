@@ -1,0 +1,29 @@
+"""NCS_MTS: the multithreaded subsystem (threads, queues, scheduler, sync)."""
+
+from . import ops
+from .queues import (
+    BlockedQueue,
+    CircularQueue,
+    MultilevelPriorityQueue,
+    N_PRIORITY_LEVELS,
+    QueueNode,
+)
+from .scheduler import DEFAULT_PRIORITY, MtsScheduler, SchedulerError, SYSTEM_PRIORITY
+from .sync import (
+    ThreadBarrier,
+    ThreadCondition,
+    ThreadEvent,
+    ThreadMutex,
+    ThreadSemaphore,
+)
+from .thread import NcsThread, ThreadContext, ThreadState
+
+__all__ = [
+    "ops",
+    "BlockedQueue", "CircularQueue", "MultilevelPriorityQueue",
+    "N_PRIORITY_LEVELS", "QueueNode",
+    "MtsScheduler", "SchedulerError", "SYSTEM_PRIORITY", "DEFAULT_PRIORITY",
+    "ThreadBarrier", "ThreadCondition", "ThreadEvent", "ThreadMutex",
+    "ThreadSemaphore",
+    "NcsThread", "ThreadContext", "ThreadState",
+]

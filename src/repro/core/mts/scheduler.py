@@ -1,0 +1,326 @@
+"""The NCS_MTS scheduler.
+
+One scheduler per OS process.  It is the reproduction of the paper's
+QuickThreads-based run-time system (§4.1): user-space threads invisible
+to the (simulated) operating system, 16 priority levels with round-robin
+inside each level, a doubly-linked blocked queue, and non-preemptive
+execution — a thread runs until it blocks, yields, or finishes.
+
+The scheduler itself executes as a single simulated process on the host
+CPU, so *at most one thread per process ever runs at a time* and every
+compute instant is charged to the one shared CPU.  Overlap between
+computation and communication arises exactly the way the paper says it
+does: a blocked thread releases the CPU to its siblings while the
+network interface (and kernel transport machinery) proceeds in the
+background.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from ...hosts import OsProcess
+from ...sim import Activity, Event, SimProcess
+from . import ops
+from .queues import BlockedQueue, MultilevelPriorityQueue, N_PRIORITY_LEVELS
+from .thread import NcsThread, ThreadContext, ThreadState
+
+__all__ = ["MtsScheduler", "SchedulerError", "SYSTEM_PRIORITY",
+           "DEFAULT_PRIORITY"]
+
+SYSTEM_PRIORITY = 0
+DEFAULT_PRIORITY = 8
+
+
+class SchedulerError(RuntimeError):
+    """Scheduler misuse: bad tids, double starts, illegal unblocks..."""
+
+
+class MtsScheduler:
+    """User-level thread scheduler for one OS process."""
+
+    def __init__(self, process: OsProcess,
+                 levels: int = N_PRIORITY_LEVELS,
+                 mps: Optional[Any] = None):
+        self.process = process
+        self.host = process.host
+        self.sim = process.sim
+        self.mps = mps  # set later by NcsRuntime when MPS attaches
+        self.threads: dict[int, NcsThread] = {}
+        self.runnable = MultilevelPriorityQueue(levels)
+        self.blocked = BlockedQueue()
+        self.current: Optional[NcsThread] = None
+        self._last_thread: Optional[NcsThread] = None
+        self._tid_seq = 0
+        self._started = False
+        self._idle_ev: Optional[Event] = None
+        self._proc: Optional[SimProcess] = None
+        #: pending unblock permits for not-yet-blocked threads
+        self._permits: set[int] = set()
+        #: statistics
+        self.context_switches = 0
+
+    # ------------------------------------------------------------- creation
+    def t_create(self, fn: Callable[..., Generator], args: tuple = (),
+                 priority: int = DEFAULT_PRIORITY, name: str = "",
+                 is_system: bool = False) -> int:
+        """``NCS_t_create``: register a thread; it becomes runnable at
+        ``NCS_start`` (or immediately, if the scheduler is running)."""
+        self.runnable.check_priority(priority)
+        self._tid_seq += 1
+        tid = self._tid_seq
+        ctx = ThreadContext(tid, self.process.pid, self)
+        thread = NcsThread(tid, fn, args, priority, ctx, name=name,
+                           is_system=is_system)
+        self.threads[tid] = thread
+        if self._started:
+            self._make_runnable(thread, None)
+        return tid
+
+    def start(self) -> SimProcess:
+        """``NCS_start``: begin scheduling; returns a sim process that
+        completes when every *user* thread has finished."""
+        if self._started:
+            raise SchedulerError("scheduler already started")
+        self._started = True
+        for thread in self.threads.values():
+            if thread.state is ThreadState.NEW:
+                thread.state = ThreadState.RUNNABLE
+                self.runnable.enqueue(thread, thread.priority)
+        self._proc = self.sim.process(
+            self._loop(), name=f"mts:{self.process.name}")
+        return self._proc
+
+    def thread(self, tid: int) -> NcsThread:
+        try:
+            return self.threads[tid]
+        except KeyError:
+            raise SchedulerError(f"unknown tid {tid}") from None
+
+    # ------------------------------------------------------------ blocking
+    def _entity(self, thread: NcsThread) -> str:
+        return f"{self.host.name}/{thread.name}"
+
+    def _block(self, thread: NcsThread, reason: str,
+               activity: Activity = Activity.IDLE) -> None:
+        thread.state = ThreadState.BLOCKED
+        thread.block_reason = reason
+        self.blocked.add(thread.tid, thread)
+        if self.host.tracer.enabled:
+            self.host.tracer.begin(self._entity(thread), activity, reason)
+
+    def _make_runnable(self, thread: NcsThread, value: Any,
+                       exc: Optional[BaseException] = None) -> None:
+        if thread.tid in self.blocked:
+            self.blocked.remove(thread.tid)
+        if self.host.tracer.enabled:
+            self.host.tracer.end(self._entity(thread))
+        thread.state = ThreadState.RUNNABLE
+        thread.resume_value = value
+        thread.resume_exc = exc
+        self.runnable.enqueue(thread, thread.priority)
+        if self._idle_ev is not None and not self._idle_ev.triggered:
+            self._idle_ev.succeed(None)
+
+    def unblock(self, tid: int, value: Any = None,
+                exc: Optional[BaseException] = None) -> None:
+        """``NCS_unblock``: wake a thread parked by ``NCS_block`` (or by a
+        system-thread hand-off).  Waking a thread that has not blocked
+        yet leaves a permit so the next ``NCS_block`` is a no-op —
+        otherwise the Fig 17 host program would have a lost-wakeup race.
+        """
+        thread = self.thread(tid)
+        if not thread.alive:
+            return
+        if thread.state is ThreadState.BLOCKED:
+            if thread.block_reason not in ("explicit", "handoff"):
+                raise SchedulerError(
+                    f"cannot NCS_unblock thread {tid}: it is blocked in "
+                    f"{thread.block_reason!r}, not NCS_block()")
+            self._make_runnable(thread, value, exc)
+        else:
+            self._permits.add(tid)
+
+    def wake_from_op(self, tid: int, value: Any = None,
+                     exc: Optional[BaseException] = None) -> None:
+        """Used by MPS system threads to complete a Send/Recv/Barrier."""
+        thread = self.thread(tid)
+        if thread.state is not ThreadState.BLOCKED:
+            raise SchedulerError(
+                f"thread {tid} is not blocked on an MPS op")
+        self._make_runnable(thread, value, exc)
+
+    # ---------------------------------------------------------------- loop
+    @property
+    def user_threads_done(self) -> bool:
+        return all(not t.alive for t in self.threads.values()
+                   if not t.is_system)
+
+    @property
+    def _may_shut_down(self) -> bool:
+        """All user threads done AND no system work (queued sends,
+        in-flight control traffic) left behind."""
+        if not self.user_threads_done:
+            return False
+        return self.mps is None or not self.mps.has_pending_work
+
+    def _loop(self) -> Generator[Event, Any, None]:
+        os = self.host.os
+        while True:
+            # Settle same-instant wakeups before picking a thread: a
+            # system-thread signal raised in the slice that just ended
+            # travels signal -> condition -> wakeup through the event
+            # calendar (depth <= 2); without this, a lower-priority
+            # compute thread could grab the CPU for a long non-preemptive
+            # slice while the receive thread's wakeup sat one event away.
+            for _ in range(2):
+                if self.sim.peek() <= self.sim.now:
+                    yield self.sim.timeout(0)
+            thread = self.runnable.dequeue()
+            if thread is None:
+                if self._may_shut_down:
+                    return
+                self._idle_ev = self.sim.event(name=f"idle:{self.process.name}")
+                yield self._idle_ev
+                self._idle_ev = None
+                continue
+            if self._last_thread is not thread:
+                self.context_switches += 1
+                yield from self.host.cpu_busy(
+                    os.thread_switch_time, Activity.OVERHEAD, "thread-switch")
+                self._last_thread = thread
+            yield from self._run_slice(thread)
+            if self._may_shut_down:
+                return
+
+    def _run_slice(self, thread: NcsThread) -> Generator[Event, Any, None]:
+        """Run one thread until it blocks, yields or finishes."""
+        thread.state = ThreadState.RUNNING
+        self.current = thread
+        try:
+            while True:
+                try:
+                    if thread.resume_exc is not None:
+                        exc, thread.resume_exc = thread.resume_exc, None
+                        op = thread.gen.throw(exc)
+                    else:
+                        value, thread.resume_value = thread.resume_value, None
+                        op = thread.gen.send(value)
+                except StopIteration as si:
+                    self._finish(thread, result=si.value)
+                    return
+                except Exception as exc:  # thread body crashed
+                    self._finish(thread, error=exc)
+                    return
+
+                verdict = yield from self._dispatch(thread, op)
+                if verdict == "break":
+                    return
+        finally:
+            self.current = None
+
+    def _dispatch(self, thread: NcsThread, op: Any
+                  ) -> Generator[Event, Any, str]:
+        """Execute one op; returns "continue" or "break" (thread left the
+        RUNNING state)."""
+        if isinstance(op, ops.NoOp):
+            thread.resume_value = op.value
+            return "continue"
+
+        if isinstance(op, ops.Compute):
+            activity = op.activity or Activity.COMPUTE
+            start = self.sim.now
+            yield from self.host.cpu_busy(op.seconds, activity,
+                                          f"{thread.name}:{op.label}")
+            if self.host.tracer.enabled and self.sim.now > start:
+                tl = self.host.tracer.timeline(self._entity(thread))
+                tl.begin(start, activity, op.label)
+                tl.end(self.sim.now)
+            return "continue"
+
+        if isinstance(op, ops.YieldCpu):
+            thread.state = ThreadState.RUNNABLE
+            self.runnable.enqueue(thread, thread.priority)
+            return "break"
+
+        if isinstance(op, ops.Sleep):
+            ev = self.sim.timeout(op.seconds)
+            self._block(thread, "sleep")
+            ev.add_callback(
+                lambda e, t=thread: self._make_runnable(t, None))
+            return "break"
+
+        if isinstance(op, ops.WaitEvent):
+            self._block(thread, "wait-event")
+            def _on_fire(ev, t=thread):
+                if ev.ok:
+                    self._make_runnable(t, ev._value)
+                else:
+                    self._make_runnable(t, None, exc=ev._value)
+            op.event.add_callback(_on_fire)
+            return "break"
+
+        if isinstance(op, ops.BlockSelf):
+            if thread.tid in self._permits:
+                self._permits.discard(thread.tid)
+                return "continue"
+            self._block(thread, "explicit")
+            return "break"
+
+        if isinstance(op, ops.Unblock):
+            self.unblock(op.tid, op.value)
+            return "continue"
+
+        if isinstance(op, ops.Join):
+            target = self.thread(op.tid)
+            if not target.alive:
+                if target.error is not None:
+                    thread.resume_exc = target.error
+                else:
+                    thread.resume_value = target.result
+                return "continue"
+            target.joiners.append(thread.tid)
+            self._block(thread, "join")
+            return "break"
+
+        if isinstance(op, ops.Spawn):
+            tid = self.t_create(op.fn, op.args, op.priority, op.name)
+            thread.resume_value = tid
+            return "continue"
+
+        if isinstance(op, (ops.Send, ops.Recv, ops.Probe, ops.Bcast,
+                           ops.Barrier, ops.Throw)):
+            if self.mps is None:
+                raise SchedulerError(
+                    "message-passing op used without an MPS "
+                    "(call ncs_init / attach an NcsMps first)")
+            try:
+                blocked = self.mps.handle_op(thread, op)
+            except Exception as exc:
+                # op-validation errors surface inside the thread, so the
+                # application can handle (or die of) them like any error
+                thread.resume_exc = exc
+                return "continue"
+            if blocked:
+                return "break"
+            return "continue"
+
+        raise SchedulerError(f"thread {thread.name} yielded unknown op {op!r}")
+
+    def _finish(self, thread: NcsThread, result: Any = None,
+                error: Optional[BaseException] = None) -> None:
+        if error is not None:
+            thread.state = ThreadState.FAILED
+            thread.error = error
+        else:
+            thread.state = ThreadState.FINISHED
+            thread.result = result
+        if self.host.tracer.enabled:
+            self.host.tracer.end(self._entity(thread))
+        for jtid in thread.joiners:
+            joiner = self.threads.get(jtid)
+            if joiner is not None and joiner.state is ThreadState.BLOCKED:
+                self._make_runnable(joiner, thread.result, exc=thread.error)
+        thread.joiners.clear()
+        if self.mps is not None:
+            self.mps.on_thread_exit(thread)

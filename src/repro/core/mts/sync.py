@@ -1,0 +1,165 @@
+"""Thread-level synchronization primitives (paper §3.1: "barrier, wait,
+signal") built on the scheduler's op protocol.
+
+Each primitive's methods return an op for the calling thread to yield::
+
+    yield mutex.acquire()
+    ...critical section...
+    mutex.release()        # note: release is synchronous, not yielded
+
+Because NCS threads are non-preemptive (QuickThreads semantics), state
+mutations between yields are atomic; the fast paths return :class:`NoOp`
+and cost nothing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from ...sim import Event, Simulator
+from . import ops
+
+__all__ = ["ThreadMutex", "ThreadSemaphore", "ThreadCondition",
+           "ThreadBarrier", "ThreadEvent"]
+
+
+class ThreadSemaphore:
+    """Counting semaphore for threads within one process."""
+
+    def __init__(self, sim: Simulator, value: int = 1):
+        if value < 0:
+            raise ValueError("initial value must be non-negative")
+        self.sim = sim
+        self._count = value
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def value(self) -> int:
+        return self._count
+
+    def acquire(self) -> ops.Op:
+        """Op: P().  Fast path when the count is positive."""
+        if self._count > 0:
+            self._count -= 1
+            return ops.NoOp()
+        ev = self.sim.event(name="sem-wait")
+        self._waiters.append(ev)
+        return ops.WaitEvent(ev)
+
+    def release(self) -> None:
+        """V().  Hands the permit directly to the oldest waiter."""
+        if self._waiters:
+            self._waiters.popleft().succeed(None)
+        else:
+            self._count += 1
+
+
+class ThreadMutex(ThreadSemaphore):
+    """A binary semaphore with held/owner diagnostics."""
+
+    def __init__(self, sim: Simulator):
+        super().__init__(sim, value=1)
+
+    @property
+    def held(self) -> bool:
+        return self._count == 0
+
+    def release(self) -> None:
+        if self._count > 0:
+            raise RuntimeError("release of unheld mutex")
+        super().release()
+
+
+class ThreadEvent:
+    """A one-shot or resettable flag threads can wait on (wait/signal)."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._set = False
+        self._waiters: list[Event] = []
+
+    @property
+    def is_set(self) -> bool:
+        return self._set
+
+    def wait(self) -> ops.Op:
+        if self._set:
+            return ops.NoOp()
+        ev = self.sim.event(name="tevent-wait")
+        self._waiters.append(ev)
+        return ops.WaitEvent(ev)
+
+    def signal(self) -> None:
+        """Set the flag and wake every waiter."""
+        self._set = True
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            ev.succeed(None)
+
+    def clear(self) -> None:
+        self._set = False
+
+
+class ThreadCondition:
+    """Condition variable over a :class:`ThreadMutex`.
+
+    ``wait()`` must be yielded while holding the mutex; it atomically
+    releases and re-acquires around the sleep.  Because it needs two
+    scheduling points it is a *generator op helper*::
+
+        yield mutex.acquire()
+        while not predicate:
+            yield from cond.wait()
+        ...
+        mutex.release()
+    """
+
+    def __init__(self, sim: Simulator, mutex: ThreadMutex):
+        self.sim = sim
+        self.mutex = mutex
+        self._waiters: Deque[Event] = deque()
+
+    def wait(self):
+        """Generator yielding the ops of a full wait cycle."""
+        if not self.mutex.held:
+            raise RuntimeError("Condition.wait() without holding the mutex")
+        ev = self.sim.event(name="cond-wait")
+        self._waiters.append(ev)
+        self.mutex.release()
+        yield ops.WaitEvent(ev)
+        yield self.mutex.acquire()
+
+    def notify(self, n: int = 1) -> None:
+        for _ in range(min(n, len(self._waiters))):
+            self._waiters.popleft().succeed(None)
+
+    def notify_all(self) -> None:
+        self.notify(len(self._waiters))
+
+
+class ThreadBarrier:
+    """Rendezvous for ``parties`` threads within one process."""
+
+    def __init__(self, sim: Simulator, parties: int):
+        if parties < 1:
+            raise ValueError("parties must be >= 1")
+        self.sim = sim
+        self.parties = parties
+        self._arrived = 0
+        self._waiters: list[Event] = []
+        self.generation = 0
+
+    def arrive(self) -> ops.Op:
+        """Op: block until the ``parties``-th thread arrives."""
+        self._arrived += 1
+        if self._arrived >= self.parties:
+            self._arrived = 0
+            self.generation += 1
+            waiters, self._waiters = self._waiters, []
+            for ev in waiters:
+                ev.succeed(None)
+            return ops.NoOp()
+        ev = self.sim.event(name="barrier-wait")
+        self._waiters.append(ev)
+        return ops.WaitEvent(ev)

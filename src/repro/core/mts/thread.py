@@ -1,0 +1,146 @@
+"""NCS threads and their lifecycle (paper §4.1).
+
+"In NCS MTS a thread can be in one of three states: blocked, runnable or
+running."  We add NEW (created, not yet started) and FINISHED/FAILED for
+bookkeeping.  System threads (send, receive, flow control, error
+control) and user threads share this class; ``is_system`` only controls
+default priority and diagnostic labelling.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Generator, Optional
+
+__all__ = ["ThreadState", "NcsThread", "ThreadContext"]
+
+
+class ThreadState(enum.Enum):
+    NEW = "new"
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    FINISHED = "finished"
+    FAILED = "failed"
+
+
+class NcsThread:
+    """One user-level thread inside an OS process."""
+
+    def __init__(self, tid: int, fn: Callable[..., Generator],
+                 args: tuple, priority: int, ctx: "ThreadContext",
+                 name: str = "", is_system: bool = False):
+        self.tid = tid
+        self.priority = priority
+        self.name = name or f"t{tid}"
+        self.is_system = is_system
+        self.ctx = ctx
+        self.state = ThreadState.NEW
+        self.gen: Generator = fn(ctx, *args)
+        if not hasattr(self.gen, "send"):
+            raise TypeError(
+                f"thread body {fn!r} must be a generator function")
+        #: value to feed into the generator on next resume
+        self.resume_value: Any = None
+        #: exception to throw into the generator on next resume
+        self.resume_exc: Optional[BaseException] = None
+        #: generator return value once FINISHED
+        self.result: Any = None
+        #: exception that killed the thread once FAILED
+        self.error: Optional[BaseException] = None
+        #: tids waiting in Join on this thread
+        self.joiners: list[int] = []
+        #: why the thread is blocked (diagnostics)
+        self.block_reason: str = ""
+
+    @property
+    def alive(self) -> bool:
+        return self.state not in (ThreadState.FINISHED, ThreadState.FAILED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<NcsThread {self.name} tid={self.tid} "
+                f"prio={self.priority} {self.state.value}>")
+
+
+class ThreadContext:
+    """What a thread body sees as its first argument.
+
+    Carries identity (``my_tid``, ``my_pid``) and convenience
+    constructors for ops, so application code reads like the paper's
+    pseudo-code::
+
+        def compute_matrix1(ctx, ...):
+            msg = yield ctx.recv(from_thread=THREAD1, from_process=HOST)
+            yield ctx.compute(seconds)
+            yield ctx.send(THREAD1, HOST, C, size)
+    """
+
+    def __init__(self, tid: int, pid: int, scheduler: Any):
+        self.my_tid = tid
+        self.my_pid = pid
+        self.scheduler = scheduler
+
+    # thin sugar over the op dataclasses --------------------------------
+    def compute(self, seconds: float, label: str = "compute"):
+        from . import ops
+        return ops.Compute(seconds, label)
+
+    def send(self, to_thread: int, to_process: int, data: Any, size: int,
+             tag: int = 0):
+        from . import ops
+        return ops.Send(to_thread, to_process, data, size, tag)
+
+    def recv(self, from_thread: int = -1, from_process: int = -1,
+             tag: int = -1, timeout=None):
+        from . import ops
+        return ops.Recv(from_thread, from_process, tag, timeout)
+
+    def probe(self, from_thread: int = -1, from_process: int = -1,
+              tag: int = -1):
+        from . import ops
+        return ops.Probe(from_thread, from_process, tag)
+
+    def bcast(self, targets, data: Any, size: int, tag: int = 0,
+              dedup_processes: bool = False):
+        from . import ops
+        return ops.Bcast(tuple(targets), data, size, tag, dedup_processes)
+
+    def barrier(self, barrier_id: int = 0, parties: int = 0):
+        from . import ops
+        return ops.Barrier(barrier_id, parties)
+
+    def block(self):
+        from . import ops
+        return ops.BlockSelf()
+
+    def unblock(self, tid: int, value: Any = None):
+        from . import ops
+        return ops.Unblock(tid, value)
+
+    def yield_cpu(self):
+        from . import ops
+        return ops.YieldCpu()
+
+    def sleep(self, seconds: float):
+        from . import ops
+        return ops.Sleep(seconds)
+
+    def join(self, tid: int):
+        from . import ops
+        return ops.Join(tid)
+
+    def spawn(self, fn, *args, priority: int = 8, name: str = ""):
+        from . import ops
+        return ops.Spawn(fn, args, priority, name)
+
+    def throw(self, to_thread: int, to_process: int, exc: BaseException):
+        from . import ops
+        return ops.Throw(to_thread, to_process, exc)
+
+    @property
+    def sim(self):
+        return self.scheduler.sim
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.sim.now

@@ -1,0 +1,106 @@
+"""Cluster-wide diagnostics: gather every counter the substrates keep.
+
+A release-grade observability surface: after (or during) a run,
+``cluster_report`` walks the cluster and collects per-layer statistics —
+Ethernet frames and collisions, ATM cells/PDUs/drops, TCP segments and
+retransmissions, NCS message counts and scheduler context switches —
+into one nested dict, and ``render_report`` pretty-prints it.
+
+>>> report = cluster_report(cluster)
+>>> print(render_report(report))
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["cluster_report", "render_report"]
+
+
+def cluster_report(cluster, runtime=None) -> dict:
+    """Collect counters from every layer of a built cluster.
+
+    ``runtime`` (an :class:`~repro.core.api.NcsRuntime`) adds NCS-level
+    counters when provided.
+    """
+    report: dict[str, Any] = {"medium": cluster.medium, "hosts": {}}
+
+    if cluster.lan is not None:
+        report["ethernet"] = {
+            "frames_delivered": cluster.lan.frames_delivered,
+            "collision_events": cluster.lan.collision_events,
+        }
+    if cluster.fabric is not None:
+        switches = {}
+        for name, sw in cluster.fabric.switches.items():
+            switches[name] = {
+                "bursts_forwarded": sw.bursts_forwarded,
+                "bursts_dropped": sw.bursts_dropped,
+            }
+        report["atm_switches"] = switches
+
+    for idx, stack in enumerate(cluster.stacks):
+        host: dict[str, Any] = {}
+        # IP
+        host["ip"] = {
+            "packets_sent": stack.ip.packets_sent,
+            "packets_received": stack.ip.packets_received,
+            "fragments_sent": stack.ip.fragments_sent,
+        }
+        # TCP (aggregate over this host's connections)
+        segs = acks = rexmit = 0
+        for conn in stack.tcp._conns.values():
+            segs += conn.segments_sent
+            acks += conn.acks_sent
+            rexmit += conn.retransmits
+        host["tcp"] = {"segments_sent": segs, "acks_sent": acks,
+                       "retransmissions": rexmit}
+        # ATM adapter
+        if stack.atm_api is not None:
+            st = stack.atm_api.adapter.stats
+            host["atm"] = {
+                "pdus_sent": st.pdus_sent,
+                "pdus_received": st.pdus_received,
+                "pdus_failed": st.pdus_failed,
+                "cells_sent": st.cells_sent,
+                "cells_received": st.cells_received,
+            }
+        report["hosts"][stack.host.name] = host
+
+    if runtime is not None:
+        ncs: dict[str, Any] = {}
+        for node in runtime.nodes:
+            sched = node.scheduler
+            ncs[f"pid{node.pid}"] = {
+                "data_sent": node.mps.data_sent,
+                "data_received": node.mps.data_received,
+                "messages_lost": len(node.mps.lost_messages),
+                "transport_messages": node.transport.messages_sent,
+                "transport_bytes": node.transport.bytes_sent,
+                "context_switches": sched.context_switches,
+                "threads": len(sched.threads),
+                "ec_retransmissions": getattr(node.mps.ec,
+                                              "retransmissions", 0),
+            }
+        report["ncs"] = ncs
+    return report
+
+
+def render_report(report: dict, indent: int = 0) -> str:
+    """Human-readable nested rendering of a :func:`cluster_report`."""
+    lines: list[str] = []
+
+    def walk(node: Any, depth: int) -> None:
+        pad = "  " * depth
+        if isinstance(node, dict):
+            for key, value in node.items():
+                if isinstance(value, dict):
+                    lines.append(f"{pad}{key}:")
+                    walk(value, depth + 1)
+                else:
+                    lines.append(f"{pad}{key:<22} {value}")
+        else:  # pragma: no cover - report values are dicts/scalars
+            lines.append(f"{pad}{node}")
+
+    walk(report, indent)
+    return "\n".join(lines)

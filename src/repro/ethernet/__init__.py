@@ -1,0 +1,18 @@
+"""Shared 10 Mbps Ethernet substrate (the paper's SUN/Ethernet platform)."""
+
+from .frame import (
+    ETHERNET_FCS_BYTES,
+    ETHERNET_HEADER_BYTES,
+    ETHERNET_IFG_BITS,
+    ETHERNET_MIN_FRAME,
+    ETHERNET_MTU,
+    ETHERNET_PREAMBLE_BYTES,
+    EthernetFrame,
+)
+from .lan import EthernetLan, EthernetNic
+
+__all__ = [
+    "EthernetFrame", "EthernetLan", "EthernetNic",
+    "ETHERNET_HEADER_BYTES", "ETHERNET_FCS_BYTES", "ETHERNET_PREAMBLE_BYTES",
+    "ETHERNET_MTU", "ETHERNET_MIN_FRAME", "ETHERNET_IFG_BITS",
+]

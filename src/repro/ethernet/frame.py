@@ -1,0 +1,54 @@
+"""Ethernet framing.
+
+Classic DIX/802.3 numbers: 14-byte header + 4-byte FCS around the payload,
+8 bytes of preamble/SFD on the wire, a minimum 64-byte frame and a
+1500-byte payload MTU, with a 9.6 µs inter-frame gap at 10 Mbps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "ETHERNET_HEADER_BYTES", "ETHERNET_FCS_BYTES", "ETHERNET_PREAMBLE_BYTES",
+    "ETHERNET_MTU", "ETHERNET_MIN_FRAME", "ETHERNET_IFG_BITS",
+    "EthernetFrame",
+]
+
+ETHERNET_HEADER_BYTES = 14
+ETHERNET_FCS_BYTES = 4
+ETHERNET_PREAMBLE_BYTES = 8
+ETHERNET_MTU = 1500
+ETHERNET_MIN_FRAME = 64  # header + payload + FCS, before preamble
+ETHERNET_IFG_BITS = 96   # 9.6 us at 10 Mbps
+
+
+@dataclass
+class EthernetFrame:
+    """One frame on the wire.  ``payload`` is an opaque upper-layer PDU
+    (an IP packet in this codebase); ``payload_bytes`` is its size."""
+
+    src: str
+    dst: str
+    payload: Any
+    payload_bytes: int
+    seq: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        if self.payload_bytes > ETHERNET_MTU:
+            raise ValueError(
+                f"payload {self.payload_bytes}B exceeds Ethernet MTU {ETHERNET_MTU}B")
+
+    @property
+    def frame_bytes(self) -> int:
+        """Bytes counted against the medium, excluding preamble."""
+        raw = ETHERNET_HEADER_BYTES + self.payload_bytes + ETHERNET_FCS_BYTES
+        return max(raw, ETHERNET_MIN_FRAME)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes serialized on the wire, including preamble/SFD."""
+        return self.frame_bytes + ETHERNET_PREAMBLE_BYTES

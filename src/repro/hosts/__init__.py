@@ -1,0 +1,22 @@
+"""Workstation host models: CPU, OS costs, kernel buffers, processes."""
+
+from .cpu import CpuModel
+from .host import Host, OsProcess
+from .oscosts import KernelBufferPool, OsCosts
+from .params import (
+    DS3_BANDWIDTH_BPS,
+    ETHERNET_BANDWIDTH_BPS,
+    HostParams,
+    OC3_BANDWIDTH_BPS,
+    OC48_BANDWIDTH_BPS,
+    SUN_ELC,
+    SUN_IPX,
+    TAXI_BANDWIDTH_BPS,
+)
+
+__all__ = [
+    "CpuModel", "Host", "OsProcess", "KernelBufferPool", "OsCosts",
+    "HostParams", "SUN_ELC", "SUN_IPX",
+    "ETHERNET_BANDWIDTH_BPS", "TAXI_BANDWIDTH_BPS",
+    "OC3_BANDWIDTH_BPS", "OC48_BANDWIDTH_BPS", "DS3_BANDWIDTH_BPS",
+]

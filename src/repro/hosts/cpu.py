@@ -1,0 +1,79 @@
+"""CPU and memory-bus cost model.
+
+The paper's performance arguments are cost-accounting arguments: how many
+memory-bus accesses a word of message data suffers (Fig 3), how long the
+SPARCstation spends per matrix-multiply step, how expensive a syscall or
+a context switch is.  ``CpuModel`` turns those into simulated seconds.
+
+All times are in seconds; all sizes in bytes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["CpuModel"]
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """Timing model of one workstation CPU + memory bus.
+
+    Parameters
+    ----------
+    clock_hz:
+        Core clock (SUN IPX ≈ 40 MHz, SUN ELC ≈ 33 MHz).
+    flop_time:
+        Seconds per generic floating-point operation *including* the loop
+        and addressing overhead of naive 1995-era compiled C.  Application
+        kernels refine this with their own per-op constants
+        (``repro.apps.costs``); this value is the generic fallback.
+    bus_access_time:
+        Seconds for one memory-bus access of one machine word.  The Fig 3
+        datapath argument is expressed in these units.
+    word_bytes:
+        Machine word size used in the bus-access accounting (4 on SPARC).
+    """
+
+    clock_hz: float = 40e6
+    flop_time: float = 1.0e-6
+    bus_access_time: float = 150e-9
+    word_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0 or self.flop_time <= 0 or self.bus_access_time <= 0:
+            raise ValueError("CPU timing constants must be positive")
+        if self.word_bytes <= 0:
+            raise ValueError("word_bytes must be positive")
+
+    # ------------------------------------------------------------- cycle math
+    def cycles(self, n: float) -> float:
+        """Seconds for ``n`` CPU cycles."""
+        return n / self.clock_hz
+
+    def flops(self, n: float) -> float:
+        """Seconds for ``n`` generic floating-point operations."""
+        return n * self.flop_time
+
+    # ---------------------------------------------------------------- copies
+    def words(self, nbytes: int) -> int:
+        """Number of machine words covering ``nbytes``."""
+        return math.ceil(nbytes / self.word_bytes)
+
+    def copy_time(self, nbytes: int, accesses_per_word: int = 2) -> float:
+        """Time to copy ``nbytes`` with ``accesses_per_word`` bus accesses.
+
+        A plain memcpy is 2 accesses per word (read + write); the socket
+        datapath of Fig 3(a) costs 5 accesses per word end to end, the
+        NCS datapath of Fig 3(b) costs 3.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if accesses_per_word < 0:
+            raise ValueError("accesses_per_word must be non-negative")
+        return self.words(nbytes) * accesses_per_word * self.bus_access_time
+
+    def touch_time(self, nbytes: int) -> float:
+        """Time to read every word once (e.g. a checksum pass)."""
+        return self.copy_time(nbytes, accesses_per_word=1)

@@ -1,0 +1,124 @@
+"""Workstation host: one CPU, an OS cost model, and network interfaces.
+
+A :class:`Host` owns the simulated CPU (a capacity-1 resource that every
+CPU-consuming activity must hold), the OS cost constants, and whatever
+network interfaces the topology attaches (an Ethernet NIC, an SBA-200 ATM
+adapter, or both).  :class:`OsProcess` is a UNIX process on a host: it has
+a mailbox for fully reassembled application messages and is the unit that
+p4 and NCS programs run in.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..sim import Activity, Event, Mailbox, NullTracer, Resource, Simulator, Tracer
+from .cpu import CpuModel
+from .oscosts import KernelBufferPool, OsCosts
+
+__all__ = ["Host", "OsProcess"]
+
+
+class Host:
+    """A workstation in the cluster."""
+
+    def __init__(self, sim: Simulator, name: str,
+                 cpu: Optional[CpuModel] = None,
+                 os: Optional[OsCosts] = None,
+                 tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.name = name
+        self.cpu = cpu or CpuModel()
+        self.os = os or OsCosts()
+        self.tracer = tracer if tracer is not None else NullTracer(sim)
+        #: single CPU shared by all processes and kernel activity
+        self.cpu_res = Resource(sim, capacity=1, name=f"cpu:{name}")
+        #: network interfaces by kind ("ethernet", "atm")
+        self.interfaces: dict[str, Any] = {}
+        self.kernel_buffers = KernelBufferPool()
+        self.processes: dict[int, "OsProcess"] = {}
+        #: COMPUTE time is sliced into quanta of this length so that
+        #: interrupt-driven kernel work (TCP input processing, protocol
+        #: timers) can preempt long application computations, as it does
+        #: on a real timesharing kernel.  None disables preemption.
+        self.compute_quantum: Optional[float] = 1e-3
+
+    # -------------------------------------------------------------- CPU time
+    def cpu_busy(self, seconds: float, activity: Activity = Activity.COMPUTE,
+                 label: str = "") -> Generator[Event, Any, None]:
+        """Occupy the CPU for ``seconds`` (generator; drive with yield from).
+
+        All simulated CPU consumption — application compute, protocol
+        processing, copies, context switches — funnels through here, so a
+        single resource enforces that one host never does two CPU things
+        at once.  The tracer records the interval for Fig 4/Fig 16 style
+        timelines.
+        """
+        if seconds < 0:
+            raise ValueError("cannot consume negative CPU time")
+        if seconds == 0:
+            return
+        quantum = (self.compute_quantum
+                   if activity is Activity.COMPUTE else None)
+        remaining = seconds
+        while remaining > 0:
+            slice_s = remaining if quantum is None else min(quantum, remaining)
+            yield self.cpu_res.request()
+            self.tracer.begin(self.name, activity, label)
+            try:
+                yield self.sim.timeout(slice_s)
+            finally:
+                self.tracer.end(self.name)
+                self.cpu_res.release()
+            remaining -= slice_s
+
+    # -------------------------------------------------------------- plumbing
+    def attach_interface(self, kind: str, interface: Any) -> None:
+        """Register a network interface (done by the topology builder)."""
+        if kind in self.interfaces:
+            raise ValueError(f"host {self.name} already has a {kind} interface")
+        self.interfaces[kind] = interface
+
+    def interface(self, kind: str) -> Any:
+        try:
+            return self.interfaces[kind]
+        except KeyError:
+            raise KeyError(
+                f"host {self.name} has no {kind!r} interface "
+                f"(has: {sorted(self.interfaces)})") from None
+
+    def add_process(self, proc: "OsProcess") -> None:
+        if proc.pid in self.processes:
+            raise ValueError(f"pid {proc.pid} already exists on {self.name}")
+        self.processes[proc.pid] = proc
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Host {self.name} ifaces={sorted(self.interfaces)}>"
+
+
+class OsProcess:
+    """A UNIX process running on a host.
+
+    ``pid`` is the cluster-global process identifier used by p4 and NCS
+    addressing (the paper's host-node model numbers the host process 0 and
+    node processes 1..N).  ``mailbox`` receives fully reassembled
+    application-level messages from whatever transport the program uses.
+    """
+
+    def __init__(self, host: Host, pid: int, name: str = ""):
+        self.host = host
+        self.sim = host.sim
+        self.pid = pid
+        self.name = name or f"p{pid}@{host.name}"
+        self.mailbox = Mailbox(host.sim, name=f"mbox:{self.name}")
+        #: transports register themselves here (keyed by transport kind)
+        self.transports: dict[str, Any] = {}
+        host.add_process(self)
+
+    def cpu_busy(self, seconds: float, activity: Activity = Activity.COMPUTE,
+                 label: str = "") -> Generator[Event, Any, None]:
+        """Consume CPU on this process's host."""
+        yield from self.host.cpu_busy(seconds, activity, label)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<OsProcess {self.name}>"

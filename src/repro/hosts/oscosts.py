@@ -1,0 +1,82 @@
+"""Operating-system overhead model.
+
+The paper's introduction blames three software costs for the gap between
+ATM line rate and application throughput: operating-system calls, context
+switching, and redundant data copying.  This module carries the first
+two; copying lives in :mod:`repro.hosts.cpu` and
+:mod:`repro.core.mps.datapath`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["OsCosts", "KernelBufferPool"]
+
+
+@dataclass(frozen=True)
+class OsCosts:
+    """Fixed-cost model of SunOS-era kernel crossings (seconds).
+
+    ``trap_time`` models the lightweight kernel entry NCS uses instead of
+    read/write syscalls ("The use of traps has been shown to be more
+    efficient than using UNIX read/write system calls" — §4.2), and
+    ``thread_switch_time`` the QuickThreads user-space context switch,
+    orders of magnitude cheaper than a process switch.
+    """
+
+    syscall_time: float = 60e-6
+    trap_time: float = 8e-6
+    process_switch_time: float = 120e-6
+    thread_switch_time: float = 12e-6
+    interrupt_time: float = 25e-6
+
+    def __post_init__(self) -> None:
+        for f in ("syscall_time", "trap_time", "process_switch_time",
+                  "thread_switch_time", "interrupt_time"):
+            if getattr(self, f) < 0:
+                raise ValueError(f"{f} must be non-negative")
+        if self.trap_time > self.syscall_time:
+            raise ValueError("a trap must not cost more than a full syscall")
+        if self.thread_switch_time > self.process_switch_time:
+            raise ValueError("a user-level thread switch must not cost more "
+                             "than a process switch")
+
+
+class KernelBufferPool:
+    """The kernel-resident I/O buffers of Fig 2 / Fig 8.
+
+    NCS maps these into its own address space with ``mmap`` so that filling
+    them needs no syscall; the classic socket path reaches them only
+    through the socket layer.  The pool tracks occupancy so the multiple
+    input/output buffer pipeline (Fig 2) can overlap host copies with
+    network-interface transfers.
+    """
+
+    def __init__(self, count: int = 4, buffer_bytes: int = 16 * 1024,
+                 mapped: bool = True):
+        if count < 1:
+            raise ValueError("need at least one kernel buffer")
+        if buffer_bytes < 1:
+            raise ValueError("buffer size must be positive")
+        self.count = count
+        self.buffer_bytes = buffer_bytes
+        #: True when the buffers are mmap()ed into NCS's address space,
+        #: eliminating the per-operation syscall (paper §4.2).
+        self.mapped = mapped
+
+    def chunks(self, nbytes: int) -> list[int]:
+        """Split a message of ``nbytes`` into buffer-sized chunks."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return [0]
+        full, rem = divmod(nbytes, self.buffer_bytes)
+        out = [self.buffer_bytes] * full
+        if rem:
+            out.append(rem)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        m = "mmap" if self.mapped else "copy"
+        return f"<KernelBufferPool {self.count}x{self.buffer_bytes}B {m}>"

@@ -1,0 +1,85 @@
+"""Hardware presets for the paper's experimental environment (§2).
+
+Two platforms appear in every table:
+
+* **SUN/Ethernet** — SPARCstation ELCs (~33 MHz) on a shared 10 Mbps
+  Ethernet LAN.
+* **SUN/ATM LAN (NYNET)** — SPARCstation IPXs (~40 MHz) with FORE SBA-200
+  SBus adapters (25 MHz Intel i960 SAR engine, AAL CRC hardware, DMA) on
+  140 Mbps TAXI into a FORE ATM switch; the WAN side is SONET OC-3 site
+  links, an OC-48 backbone and a DS-3 upstate–downstate link.
+
+The numeric constants are calibrated so that the *single-node* rows of
+Tables 1 and 3 match the paper (see ``repro.apps.costs``); the hardware
+figures (clock rates, line rates) are the paper's published ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cpu import CpuModel
+from .oscosts import OsCosts
+
+__all__ = [
+    "HostParams", "SUN_ELC", "SUN_IPX",
+    "ETHERNET_BANDWIDTH_BPS", "TAXI_BANDWIDTH_BPS",
+    "OC3_BANDWIDTH_BPS", "OC48_BANDWIDTH_BPS", "DS3_BANDWIDTH_BPS",
+]
+
+# Line rates from the paper (§2).  SONET rates are payload-adjusted for
+# OC-3 (149.76 Mbps SPE of the 155.52 Mbps line); the 140 Mbps TAXI and
+# 45 Mbps DS-3 figures are used as given.
+ETHERNET_BANDWIDTH_BPS = 10e6
+TAXI_BANDWIDTH_BPS = 140e6
+OC3_BANDWIDTH_BPS = 149.76e6
+OC48_BANDWIDTH_BPS = 2.4e9
+DS3_BANDWIDTH_BPS = 45e6
+
+
+@dataclass(frozen=True)
+class HostParams:
+    """Bundle of CPU + OS constants describing one workstation model."""
+
+    name: str
+    cpu: CpuModel = field(default_factory=CpuModel)
+    os: OsCosts = field(default_factory=OsCosts)
+
+
+#: SPARCstation ELC (~33 MHz) — the SUN/Ethernet platform.
+SUN_ELC = HostParams(
+    name="SUN-ELC",
+    cpu=CpuModel(
+        clock_hz=33e6,
+        # generic fallback; application kernels carry their own calibrated
+        # per-operation constants (repro.apps.costs)
+        flop_time=1.4e-6,
+        bus_access_time=180e-9,
+        word_bytes=4,
+    ),
+    os=OsCosts(
+        syscall_time=75e-6,
+        trap_time=10e-6,
+        process_switch_time=150e-6,
+        thread_switch_time=15e-6,
+        interrupt_time=30e-6,
+    ),
+)
+
+#: SPARCstation IPX (~40 MHz) — the SUN/ATM (NYNET) platform.
+SUN_IPX = HostParams(
+    name="SUN-IPX",
+    cpu=CpuModel(
+        clock_hz=40e6,
+        flop_time=1.15e-6,
+        bus_access_time=150e-9,
+        word_bytes=4,
+    ),
+    os=OsCosts(
+        syscall_time=60e-6,
+        trap_time=8e-6,
+        process_switch_time=120e-6,
+        thread_switch_time=12e-6,
+        interrupt_time=25e-6,
+    ),
+)

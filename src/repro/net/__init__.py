@@ -1,0 +1,9 @@
+"""Topology builders: Ethernet cluster, ATM LAN cluster, NYNET WAN."""
+
+from .nynet import SiteSpec, build_nynet, nynet_testbed
+from .topology import Cluster, NodeStack, build_atm_cluster, build_ethernet_cluster
+
+__all__ = [
+    "Cluster", "NodeStack", "build_atm_cluster", "build_ethernet_cluster",
+    "SiteSpec", "build_nynet", "nynet_testbed",
+]

@@ -1,0 +1,124 @@
+"""The NYNET ATM wide-area testbed of Fig 1.
+
+"NYNET is a high-speed fiber-optic communications network linking
+multiple computing, communications, and research facilities in New York
+State. ... Most of the wide area portion of the NYNET operates at speed
+OC 48 (2.4 Gbps) while each site is connected with two OC 3 links
+(155 Mbps).  The upstate to downstate connection is through DS-3
+(45 Mbps) link." (§2)
+
+We model a parameterizable version: a set of *sites*, each a FORE switch
+with some hosts on TAXI links, connected to a WAN backbone.  Upstate
+sites hang off an OC-48 backbone switch; the downstate region connects
+through the DS-3 bottleneck.  Every host gets the same dual stack as
+:func:`repro.net.topology.build_atm_cluster` (classical-IP PVC mesh +
+raw HSM PVC mesh), so any experiment can run unchanged over the WAN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..atm import (
+    AtmApi, AtmFabric, AtmSwitch, DS3, OC3, OC48, Sba200Adapter,
+    SignalingController, TAXI_140,
+)
+from ..hosts import Host, HostParams, OsProcess, SUN_IPX
+from ..protocols import AtmIpAdapter, IpLayer, SocketLayer, TcpParams, TcpStack, UdpStack
+from ..sim import NullTracer, RngRegistry, Simulator, Tracer
+from .topology import Cluster, NodeStack
+
+__all__ = ["SiteSpec", "build_nynet", "nynet_testbed"]
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """One NYNET site: a name, how many hosts, and which region it's in."""
+
+    name: str
+    n_hosts: int
+    region: str = "upstate"      # "upstate" | "downstate"
+
+    def __post_init__(self) -> None:
+        if self.n_hosts < 0:
+            raise ValueError("n_hosts must be non-negative")
+        if self.region not in ("upstate", "downstate"):
+            raise ValueError(f"unknown region {self.region!r}")
+
+
+def build_nynet(sites: list[SiteSpec],
+                params: HostParams = SUN_IPX,
+                tcp_params: TcpParams | None = None,
+                seed: int = 1995,
+                trace: bool = False,
+                train_cells: int = 256,
+                preconnect: bool = True) -> Cluster:
+    """Build the Fig 1 testbed with the given sites.
+
+    Topology: ``host --TAXI-- site switch --OC-3-- regional backbone``;
+    the two regional backbones (upstate OC-48 ring collapsed to one
+    switch, downstate) connect through the DS-3 link.
+    """
+    if not sites or all(s.n_hosts == 0 for s in sites):
+        raise ValueError("need at least one site with hosts")
+    if len({s.name for s in sites}) != len(sites):
+        raise ValueError("site names must be unique")
+    sim = Simulator()
+    rngs = RngRegistry(seed)
+    tracer = Tracer(sim) if trace else NullTracer(sim)
+    fabric = AtmFabric(sim)
+
+    upstate_bb = fabric.add_switch(AtmSwitch(sim, "bb-upstate"))
+    downstate_bb = fabric.add_switch(AtmSwitch(sim, "bb-downstate"))
+    # the upstate-downstate DS-3 bottleneck
+    fabric.connect(upstate_bb, downstate_bb, DS3)
+
+    stacks: list[NodeStack] = []
+    pid = 0
+    for site in sites:
+        sw = fabric.add_switch(AtmSwitch(sim, f"sw-{site.name}"))
+        backbone = upstate_bb if site.region == "upstate" else downstate_bb
+        fabric.connect(sw, backbone, OC3)
+        for k in range(site.n_hosts):
+            name = f"{site.name}{k}"
+            host = Host(sim, name, cpu=params.cpu, os=params.os,
+                        tracer=tracer)
+            sba = Sba200Adapter(sim, name, train_cells=train_cells)
+            host.attach_interface("atm", sba)
+            fabric.add_adapter(sba)
+            rng = rngs.stream(f"link.{name}")
+            fabric.connect(sba, sw, TAXI_140, rng_a=rng, rng_b=rng)
+            atm_api = AtmApi(host)
+            ip_adapter = AtmIpAdapter(atm_api)
+            ip = IpLayer(sim, name, ip_adapter)
+            ip_adapter.bind(ip)
+            tcp = TcpStack(host, ip, tcp_params)
+            stacks.append(NodeStack(
+                host=host, process=OsProcess(host, pid=pid), ip=ip, tcp=tcp,
+                socket=SocketLayer(host, tcp), udp=UdpStack(host, ip),
+                atm_api=atm_api))
+            pid += 1
+
+    sig = SignalingController(fabric)
+    cluster = Cluster(sim=sim, rngs=rngs, tracer=tracer, stacks=stacks,
+                      medium="nynet", fabric=fabric, signaling=sig)
+    names = [s.host.name for s in stacks]
+    for i, src in enumerate(names):
+        for j, dst in enumerate(names):
+            if i != j:
+                vc = sig.create_pvc(src, dst)
+                stacks[i].ip.adapter.register_vc(dst, vc)
+                stacks[j].ip.adapter.add_rx_vc(vc)
+                cluster.hsm_vcs[(i, j)] = sig.create_pvc(src, dst)
+    if preconnect:
+        cluster.preestablish_tcp_mesh()
+    return cluster
+
+
+def nynet_testbed(n_upstate: int = 4, n_downstate: int = 2, **kw) -> Cluster:
+    """The canonical two-region instance used by the Fig 1 benchmark:
+    a Syracuse-like upstate site and an NYC-like downstate site."""
+    return build_nynet([
+        SiteSpec("syr", n_upstate, "upstate"),
+        SiteSpec("nyc", n_downstate, "downstate"),
+    ], **kw)

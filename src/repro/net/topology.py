@@ -1,0 +1,192 @@
+"""Cluster builders: wire hosts, NICs, protocol stacks and fabrics.
+
+Two build-outs mirror the paper's experimental environment (§2):
+
+* :func:`build_ethernet_cluster` — SPARCstation ELCs on one shared
+  10 Mbps Ethernet (the *SUN/Ethernet* platform).
+* :func:`build_atm_cluster` — SPARCstation IPXs star-wired to a FORE
+  switch over 140 Mbps TAXI (the *SUN/ATM LAN* platform), with both a
+  classical-IP PVC mesh (for TCP/p4/NSM traffic) and a raw PVC mesh
+  (for NCS High Speed Mode).
+
+The NYNET wide-area testbed of Fig 1 is in :mod:`repro.net.nynet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..atm import (
+    AtmApi, AtmFabric, AtmSwitch, LinkSpec, Sba200Adapter,
+    SignalingController, TAXI_140, VirtualChannel,
+)
+from ..ethernet import EthernetLan, EthernetNic
+from ..hosts import Host, HostParams, OsProcess, SUN_ELC, SUN_IPX
+from ..protocols import (
+    AtmIpAdapter, EthernetIpAdapter, IpLayer, SocketLayer, TcpParams,
+    TcpStack, UdpStack,
+)
+from ..sim import NullTracer, RngRegistry, Simulator, Tracer
+
+__all__ = ["NodeStack", "Cluster", "build_ethernet_cluster",
+           "build_atm_cluster"]
+
+
+@dataclass
+class NodeStack:
+    """Everything attached to one host."""
+
+    host: Host
+    process: OsProcess
+    ip: IpLayer
+    tcp: TcpStack
+    socket: SocketLayer
+    udp: UdpStack
+    atm_api: Optional[AtmApi] = None
+
+
+@dataclass
+class Cluster:
+    """A built simulation universe: N hosts plus their interconnect."""
+
+    sim: Simulator
+    rngs: RngRegistry
+    tracer: Tracer
+    stacks: list[NodeStack]
+    medium: str                                   # "ethernet" | "atm-lan" | ...
+    lan: Optional[EthernetLan] = None
+    fabric: Optional[AtmFabric] = None
+    signaling: Optional[SignalingController] = None
+    #: raw PVCs for NCS HSM traffic: (src_idx, dst_idx) -> VC
+    hsm_vcs: dict[tuple[int, int], VirtualChannel] = field(default_factory=dict)
+
+    @property
+    def n_hosts(self) -> int:
+        return len(self.stacks)
+
+    def stack(self, idx: int) -> NodeStack:
+        return self.stacks[idx]
+
+    def host(self, idx: int) -> Host:
+        return self.stacks[idx].host
+
+    def process(self, pid: int) -> OsProcess:
+        return self.stacks[pid].process
+
+    def hsm_vc(self, src: int, dst: int) -> VirtualChannel:
+        try:
+            return self.hsm_vcs[(src, dst)]
+        except KeyError:
+            raise KeyError(
+                f"no HSM VC {src}->{dst}; is this an ATM cluster?") from None
+
+    def preestablish_tcp_mesh(self) -> None:
+        """Mark every pairwise TCP connection established, modelling the
+        connection setup p4 performs during ``p4_create_procgroup`` —
+        which the paper's timed regions exclude."""
+        n = self.n_hosts
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    conn = self.stacks[i].tcp.connection(self.host(j).name)
+                    conn.established = True
+
+
+def _host_name(i: int) -> str:
+    return f"n{i}"
+
+
+def build_ethernet_cluster(
+        n_hosts: int,
+        params: HostParams = SUN_ELC,
+        tcp_params: Optional[TcpParams] = None,
+        seed: int = 1995,
+        trace: bool = False,
+        collisions: bool = False,
+        bandwidth_bps: float = 10e6,
+        preconnect: bool = True) -> Cluster:
+    """N workstations on one shared Ethernet segment."""
+    if n_hosts < 1:
+        raise ValueError("need at least one host")
+    sim = Simulator()
+    rngs = RngRegistry(seed)
+    tracer = Tracer(sim) if trace else NullTracer(sim)
+    lan = EthernetLan(sim, bandwidth_bps=bandwidth_bps,
+                      collisions=collisions, rngs=rngs)
+    stacks = []
+    for i in range(n_hosts):
+        name = _host_name(i)
+        host = Host(sim, name, cpu=params.cpu, os=params.os, tracer=tracer)
+        nic = EthernetNic(sim, lan, name)
+        host.attach_interface("ethernet", nic)
+        adapter = EthernetIpAdapter(nic)
+        ip = IpLayer(sim, name, adapter)
+        adapter.bind(ip)
+        tcp = TcpStack(host, ip, tcp_params)
+        stacks.append(NodeStack(
+            host=host, process=OsProcess(host, pid=i), ip=ip, tcp=tcp,
+            socket=SocketLayer(host, tcp), udp=UdpStack(host, ip)))
+    cluster = Cluster(sim=sim, rngs=rngs, tracer=tracer, stacks=stacks,
+                      medium="ethernet", lan=lan)
+    if preconnect:
+        cluster.preestablish_tcp_mesh()
+    return cluster
+
+
+def build_atm_cluster(
+        n_hosts: int,
+        params: HostParams = SUN_IPX,
+        tcp_params: Optional[TcpParams] = None,
+        seed: int = 1995,
+        trace: bool = False,
+        link_spec: LinkSpec = TAXI_140,
+        switch_latency_s: float = 10e-6,
+        train_cells: int = 256,
+        preconnect: bool = True) -> Cluster:
+    """N workstations star-wired to one FORE switch over TAXI links."""
+    if n_hosts < 1:
+        raise ValueError("need at least one host")
+    sim = Simulator()
+    rngs = RngRegistry(seed)
+    tracer = Tracer(sim) if trace else NullTracer(sim)
+    fabric = AtmFabric(sim)
+    switch = fabric.add_switch(AtmSwitch(sim, "fore-sw",
+                                         switching_latency_s=switch_latency_s))
+    stacks = []
+    for i in range(n_hosts):
+        name = _host_name(i)
+        host = Host(sim, name, cpu=params.cpu, os=params.os, tracer=tracer)
+        sba = Sba200Adapter(sim, name, train_cells=train_cells)
+        host.attach_interface("atm", sba)
+        fabric.add_adapter(sba)
+        rng = rngs.stream(f"link.{name}")
+        fabric.connect(sba, switch, link_spec, rng_a=rng, rng_b=rng)
+        atm_api = AtmApi(host)
+        ip_adapter = AtmIpAdapter(atm_api)
+        ip = IpLayer(sim, name, ip_adapter)
+        ip_adapter.bind(ip)
+        tcp = TcpStack(host, ip, tcp_params)
+        stacks.append(NodeStack(
+            host=host, process=OsProcess(host, pid=i), ip=ip, tcp=tcp,
+            socket=SocketLayer(host, tcp), udp=UdpStack(host, ip),
+            atm_api=atm_api))
+    sig = SignalingController(fabric)
+    cluster = Cluster(sim=sim, rngs=rngs, tracer=tracer, stacks=stacks,
+                      medium="atm-lan", fabric=fabric, signaling=sig)
+    # classical-IP PVC mesh (TCP/p4/NSM) ...
+    for i in range(n_hosts):
+        for j in range(n_hosts):
+            if i != j:
+                vc = sig.create_pvc(_host_name(i), _host_name(j))
+                stacks[i].ip.adapter.register_vc(_host_name(j), vc)
+                stacks[j].ip.adapter.add_rx_vc(vc)
+    # ... and a separate raw PVC mesh for NCS HSM traffic
+    for i in range(n_hosts):
+        for j in range(n_hosts):
+            if i != j:
+                cluster.hsm_vcs[(i, j)] = sig.create_pvc(
+                    _host_name(i), _host_name(j))
+    if preconnect:
+        cluster.preestablish_tcp_mesh()
+    return cluster

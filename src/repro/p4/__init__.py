@@ -1,0 +1,5 @@
+"""The p4 message-passing baseline (single-threaded processes over TCP)."""
+
+from .api import P4Message, P4Params, P4Process, P4Runtime
+
+__all__ = ["P4Message", "P4Params", "P4Process", "P4Runtime"]

@@ -1,0 +1,228 @@
+"""IP layer over Ethernet or ATM (classical IP over ATM, RFC 1577 style).
+
+The paper's p4 baseline and NCS's Normal Speed Mode both run TCP/IP; on
+the NYNET testbed that means IP datagrams carried in AAL5 PDUs with a
+9180-byte MTU, and on the SUN/Ethernet platform the familiar 1500-byte
+MTU.  ``IpLayer`` does addressing, fragmentation and reassembly;
+link-specific adaptation lives in :class:`EthernetIpAdapter` and
+:class:`AtmIpAdapter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..sim import Simulator
+
+__all__ = [
+    "IP_HEADER_BYTES", "LLC_SNAP_BYTES", "ATM_IP_MTU",
+    "IpPacket", "IpLayer", "EthernetIpAdapter", "AtmIpAdapter",
+]
+
+IP_HEADER_BYTES = 20
+#: LLC/SNAP encapsulation of IP in AAL5 (RFC 1483)
+LLC_SNAP_BYTES = 8
+#: default MTU for classical IP over ATM (RFC 1577)
+ATM_IP_MTU = 9180
+
+
+@dataclass
+class IpPacket:
+    """One IP datagram (possibly a fragment)."""
+
+    src: str
+    dst: str
+    proto: str                  # "tcp" | "udp"
+    payload: Any                # upper-layer segment (opaque)
+    payload_bytes: int
+    ident: int
+    frag_offset: int = 0
+    more_frags: bool = False
+
+    @property
+    def total_bytes(self) -> int:
+        return IP_HEADER_BYTES + self.payload_bytes
+
+
+class LinkAdapter:
+    """Interface the IP layer drives; one per (host, medium)."""
+
+    mtu: int = 1500
+
+    def send(self, dst_host: str, packet: IpPacket) -> None:
+        raise NotImplementedError
+
+
+class IpLayer:
+    """Per-host IP: fragmentation, reassembly, protocol demux."""
+
+    def __init__(self, sim: Simulator, host_name: str, adapter: LinkAdapter):
+        self.sim = sim
+        self.host_name = host_name
+        self.adapter = adapter
+        self._ident = 0
+        #: (src, ident) -> {offset: fragment}
+        self._reasm: dict[tuple[str, int], dict[int, IpPacket]] = {}
+        #: proto -> handler(packet)
+        self._handlers: dict[str, Callable[[IpPacket], None]] = {}
+        #: counters
+        self.packets_sent = 0
+        self.packets_received = 0
+        self.fragments_sent = 0
+
+    def register_protocol(self, proto: str,
+                          handler: Callable[[IpPacket], None]) -> None:
+        if proto in self._handlers:
+            raise ValueError(f"protocol {proto!r} already registered")
+        self._handlers[proto] = handler
+
+    @property
+    def mss(self) -> int:
+        """Maximum transport payload that avoids IP fragmentation."""
+        return self.adapter.mtu - IP_HEADER_BYTES
+
+    # ----------------------------------------------------------------- send
+    def send(self, dst_host: str, proto: str, payload: Any,
+             payload_bytes: int) -> None:
+        """Emit a datagram, fragmenting if it exceeds the link MTU.
+
+        Non-blocking: the link adapter queues onto NIC hardware.
+        """
+        self._ident += 1
+        ident = self._ident
+        max_payload = self.adapter.mtu - IP_HEADER_BYTES
+        if payload_bytes <= max_payload:
+            self.packets_sent += 1
+            self.adapter.send(dst_host, IpPacket(
+                self.host_name, dst_host, proto, payload, payload_bytes, ident))
+            return
+        # fragment: payload object rides only on the last fragment
+        offset = 0
+        # fragment payloads must be multiples of 8 except the last
+        step = max_payload - (max_payload % 8)
+        while offset < payload_bytes:
+            take = min(step, payload_bytes - offset)
+            last = offset + take >= payload_bytes
+            self.adapter.send(dst_host, IpPacket(
+                self.host_name, dst_host, proto,
+                payload if last else None, take, ident,
+                frag_offset=offset, more_frags=not last))
+            self.fragments_sent += 1
+            offset += take
+        self.packets_sent += 1
+
+    # -------------------------------------------------------------- receive
+    def receive(self, packet: IpPacket) -> None:
+        """Called by the link adapter on datagram/fragment arrival."""
+        if packet.dst != self.host_name:
+            return  # not for us (promiscuous frame on shared medium)
+        if packet.frag_offset == 0 and not packet.more_frags:
+            self._deliver(packet)
+            return
+        key = (packet.src, packet.ident)
+        frags = self._reasm.setdefault(key, {})
+        frags[packet.frag_offset] = packet
+        assembled = self._try_reassemble(frags)
+        if assembled is not None:
+            del self._reasm[key]
+            self._deliver(assembled)
+
+    def _try_reassemble(self, frags: dict[int, IpPacket]) -> Optional[IpPacket]:
+        offset = 0
+        total = 0
+        payload = None
+        chain = []
+        while True:
+            frag = frags.get(offset)
+            if frag is None:
+                return None
+            chain.append(frag)
+            total += frag.payload_bytes
+            if frag.payload is not None:
+                payload = frag.payload
+            if not frag.more_frags:
+                break
+            offset += frag.payload_bytes
+        first = chain[0]
+        return IpPacket(first.src, first.dst, first.proto, payload,
+                        total, first.ident)
+
+    def _deliver(self, packet: IpPacket) -> None:
+        self.packets_received += 1
+        handler = self._handlers.get(packet.proto)
+        if handler is None:
+            return  # no listener: drop, like a closed port
+        handler(packet)
+
+
+class EthernetIpAdapter(LinkAdapter):
+    """IP over the shared Ethernet segment."""
+
+    def __init__(self, nic, mtu: int = 1500):
+        self.nic = nic
+        self.mtu = mtu
+        nic.set_receive_handler(self._on_frame)
+        self._ip: Optional[IpLayer] = None
+
+    def bind(self, ip: IpLayer) -> None:
+        self._ip = ip
+
+    def send(self, dst_host: str, packet: IpPacket) -> None:
+        self.nic.enqueue(dst_host, packet, packet.total_bytes)
+
+    def _on_frame(self, frame) -> None:
+        if self._ip is not None:
+            self._ip.receive(frame.payload)
+
+
+class AtmIpAdapter(LinkAdapter):
+    """Classical IP over ATM: one AAL5 PDU per datagram on a per-peer VC.
+
+    VCs to every peer are provisioned by the topology builder (PVC mesh);
+    ``register_vc`` installs them.
+    """
+
+    def __init__(self, atm_api, mtu: int = ATM_IP_MTU):
+        self.atm_api = atm_api
+        self.mtu = mtu
+        self._vcs: dict[str, Any] = {}
+        self._ip: Optional[IpLayer] = None
+        self.sim = atm_api.sim
+
+    def bind(self, ip: IpLayer) -> None:
+        self._ip = ip
+
+    def register_vc(self, dst_host: str, vc) -> None:
+        """Install the outgoing VC used for datagrams to ``dst_host``."""
+        if dst_host in self._vcs:
+            raise ValueError(f"VC to {dst_host} already registered")
+        self._vcs[dst_host] = vc
+
+    def add_rx_vc(self, vc) -> None:
+        """Listen for incoming datagrams on ``vc`` (a peer's VC that
+        terminates at this host)."""
+        self.sim.process(self._rx_loop(vc), name=f"ipoa-rx:{vc.vc_id}")
+
+    def send(self, dst_host: str, packet: IpPacket) -> None:
+        vc = self._vcs.get(dst_host)
+        if vc is None:
+            raise KeyError(f"no VC from {packet.src} to {dst_host}")
+        adapter = self.atm_api.adapter
+        msg_id = adapter.alloc_msg_id()
+        # LLC/SNAP + IP header + payload in one AAL5 PDU; hardware path,
+        # no host CPU charged here (TCP charges its own processing).
+        self.sim.process(
+            self._tx(vc, packet, msg_id), name=f"ipoa-tx:{dst_host}")
+
+    def _tx(self, vc, packet: IpPacket, msg_id: int):
+        nbytes = packet.total_bytes + LLC_SNAP_BYTES
+        yield from self.atm_api.adapter.dma_transfer(nbytes)
+        self.atm_api.adapter.send_pdu(vc, nbytes, msg_id=msg_id,
+                                      is_final=True, payload=packet)
+
+    def _rx_loop(self, vc):
+        while True:
+            msg = yield self.atm_api.recv(vc)
+            if self._ip is not None and msg.payload is not None:
+                self._ip.receive(msg.payload)

@@ -1,0 +1,424 @@
+"""Discrete-event simulation kernel.
+
+This is the foundation every NCS subsystem runs on.  It is a small,
+deterministic, SimPy-flavoured engine: a binary-heap event calendar, an
+``Event`` primitive with success/failure values, and coroutine
+``SimProcess`` objects driven by the scheduler.
+
+The 1995 paper measured wall-clock seconds on SPARCstations; we instead
+advance a virtual clock, which makes every experiment in the paper
+deterministic and platform-independent.  Simulated user-level threads
+(``repro.core.mts``) ride on top of these processes, so the CPython GIL
+never matters: concurrency is a property of the model, not of the host
+interpreter.
+
+Example
+-------
+>>> sim = Simulator()
+>>> def hello(sim):
+...     yield sim.timeout(1.5)
+...     return "done"
+>>> p = sim.process(hello(sim))
+>>> sim.run()
+>>> sim.now
+1.5
+>>> p.value
+'done'
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "PENDING",
+    "Event",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "SimProcess",
+    "Interrupt",
+    "SimulationError",
+    "Simulator",
+]
+
+
+class _Pending:
+    """Sentinel for an event that has not yet been triggered."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<PENDING>"
+
+
+PENDING = _Pending()
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (double triggers, running a dead process...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`SimProcess.interrupt`.
+
+    ``cause`` carries an arbitrary payload describing why the process was
+    interrupted (e.g. a retransmission timer firing).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence with an optional value.
+
+    An event starts *pending*; it may be triggered exactly once, either
+    with :meth:`succeed` (a value) or :meth:`fail` (an exception).
+    Callbacks added before the trigger run when the simulator processes
+    the event; callbacks added after it has been processed run
+    immediately.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_processed", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._processed = False
+        self.name = name
+
+    # ------------------------------------------------------------------ state
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not have fired callbacks yet)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event failed or is pending."""
+        if self._value is PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        if not self._ok:
+            raise self._value
+        return self._value
+
+    # --------------------------------------------------------------- triggers
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value`` after ``delay``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception that waiters will re-raise."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exc
+        self.sim._schedule(self, delay)
+        return self
+
+    # -------------------------------------------------------------- callbacks
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event is processed (or now, if done)."""
+        if self._processed:
+            fn(self)
+        else:
+            assert self.callbacks is not None
+            self.callbacks.append(fn)
+
+    def _process(self) -> None:
+        """Invoked by the simulator loop: fire all callbacks exactly once."""
+        if self._processed:  # pragma: no cover - kernel invariant
+            raise SimulationError(f"{self!r} processed twice")
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, None
+        for fn in callbacks or ():
+            fn(self)
+
+    def __repr__(self) -> str:
+        tag = self.name or self.__class__.__name__
+        state = "processed" if self._processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{tag} {state} at t={self.sim.now:.9g}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(sim, name=f"Timeout({delay:.9g})")
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class _Condition(Event):
+    """Shared machinery for :class:`AnyOf` / :class:`AllOf`."""
+
+    __slots__ = ("_events", "_pending_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = tuple(events)
+        self._pending_count = 0
+        for ev in self._events:
+            if ev.sim is not sim:
+                raise SimulationError("condition spans multiple simulators")
+        for ev in self._events:
+            if ev._processed:
+                self._check(ev)
+            else:
+                self._pending_count += 1
+                ev.add_callback(self._check)
+        if not self._events and not self.triggered:
+            self._finish()
+
+    def _check(self, ev: Event) -> None:
+        raise NotImplementedError
+
+    def _finish(self) -> None:
+        if not self.triggered:
+            self.succeed({e: e._value for e in self._events if e.triggered and e._ok})
+
+
+class AnyOf(_Condition):
+    """Triggers when the first of its events triggers (failures propagate)."""
+
+    __slots__ = ()
+
+    def _check(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev._ok:
+            self.fail(ev._value)
+        else:
+            self._finish()
+
+
+class AllOf(_Condition):
+    """Triggers when all of its events have triggered (failures propagate)."""
+
+    __slots__ = ()
+
+    def _check(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev._ok:
+            self.fail(ev._value)
+            return
+        self._pending_count -= 1
+        if self._pending_count <= 0:
+            remaining = [e for e in self._events if not e.triggered]
+            if not remaining:
+                self._finish()
+
+
+class SimProcess(Event):
+    """A coroutine driven by the simulator.
+
+    The generator yields :class:`Event` objects; the process resumes with
+    the event's value when it is processed (or the event's exception is
+    thrown into the generator).  A process is itself an event that
+    triggers with the generator's return value, so processes can wait on
+    each other.
+    """
+
+    __slots__ = ("_gen", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any],
+                 name: str = ""):
+        if not hasattr(gen, "send"):
+            raise TypeError(f"process target must be a generator, got {gen!r}")
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: start the generator as soon as the simulator runs.
+        boot = Event(sim, name=f"start:{self.name}")
+        boot.succeed(None)
+        boot.add_callback(self._resume)
+        self._waiting_on = boot
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self!r}")
+        target = self._waiting_on
+        # Detach from whatever we were waiting on; deliver an immediate
+        # event that resumes the generator via .throw().
+        poke = Event(self.sim, name=f"interrupt:{self.name}")
+        poke._ok = False
+        poke._value = Interrupt(cause)
+        self._waiting_on = poke
+        self.sim._schedule(poke, 0.0)
+        poke.add_callback(self._resume_from(poke))
+        if target is not None and not target._processed:
+            # Leave a tombstone so the stale wakeup is ignored.
+            target.add_callback(self._ignore_stale(target))
+
+    def _ignore_stale(self, ev: Event) -> Callable[[Event], None]:
+        def _cb(_: Event) -> None:
+            return  # superseded by interrupt
+        return _cb
+
+    def _resume_from(self, expected: Event) -> Callable[[Event], None]:
+        def _cb(ev: Event) -> None:
+            if self._waiting_on is expected:
+                self._resume(ev)
+        return _cb
+
+    def _resume(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if self._waiting_on is not ev:
+            return  # stale wakeup (e.g. interrupted while waiting)
+        self._waiting_on = None
+        self.sim._active_process = self
+        try:
+            if ev._ok:
+                nxt = self._gen.send(ev._value)
+            else:
+                nxt = self._gen.throw(ev._value)
+        except StopIteration as si:
+            self.succeed(si.value)
+            return
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):  # pragma: no cover
+                raise
+            self.fail(_attach_context(exc, self))
+            return
+        finally:
+            self.sim._active_process = None
+        if not isinstance(nxt, Event):
+            err = SimulationError(
+                f"process {self.name!r} yielded {nxt!r}; processes must yield Events")
+            self._gen.close()
+            self.fail(err)
+            return
+        self._waiting_on = nxt
+        nxt.add_callback(self._resume_from(nxt))
+
+
+def _attach_context(exc: BaseException, proc: "SimProcess") -> BaseException:
+    note = f"(in simulated process {proc.name!r} at t={proc.sim.now:.9g})"
+    try:
+        exc.add_note(note)  # Python 3.11+
+    except AttributeError:  # pragma: no cover
+        pass
+    return exc
+
+
+class Simulator:
+    """The event calendar and virtual clock.
+
+    All model components hold a reference to one ``Simulator``; creating
+    two simulators gives two fully isolated universes (used heavily by
+    the test-suite).
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[SimProcess] = None
+
+    # ------------------------------------------------------------------ clock
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[SimProcess]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------- scheduling
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay!r}s in the past")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+
+    # ------------------------------------------------------------- factories
+    def event(self, name: str = "") -> Event:
+        """A fresh untriggered event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator[Event, Any, Any], name: str = "") -> SimProcess:
+        """Register a coroutine as a simulated process."""
+        return SimProcess(self, gen, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # ------------------------------------------------------------------- run
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        t, _, event = heapq.heappop(self._heap)
+        if t < self._now:  # pragma: no cover - kernel invariant
+            raise SimulationError("time went backwards")
+        self._now = t
+        event._process()
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run until the calendar empties, ``until`` is reached, or
+        ``max_events`` have been processed (a runaway guard for tests)."""
+        count = 0
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                return
+            self.step()
+            count += 1
+            if max_events is not None and count >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} (possible livelock)")
+
+    def run_process(self, gen: Generator[Event, Any, Any], name: str = "",
+                    until: Optional[float] = None) -> Any:
+        """Convenience: register ``gen``, run to completion, return its value."""
+        proc = self.process(gen, name=name)
+        self.run(until=until)
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} did not finish (deadlock at t={self.now:.9g})")
+        return proc.value

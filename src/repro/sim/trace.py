@@ -1,0 +1,150 @@
+"""Execution tracing: per-entity state timelines and event logs.
+
+The paper's Figure 16 shows, for every processor, which intervals were
+spent *computing*, *communicating* or *idle*; Figure 4 shows the matmul
+send/recv/compute overlap.  ``Tracer`` records exactly those intervals
+from the running simulation so the benchmark harness can regenerate the
+figures (as utilization fractions and Gantt rows).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .kernel import Simulator
+
+__all__ = ["Activity", "Interval", "Timeline", "Tracer"]
+
+
+class Activity(str, enum.Enum):
+    """What a traced entity is doing during an interval (paper Fig 16)."""
+
+    COMPUTE = "compute"
+    COMMUNICATE = "communicate"
+    IDLE = "idle"
+    OVERHEAD = "overhead"  # context switches, thread maintenance
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed-open ``[start, end)`` interval of one activity."""
+
+    start: float
+    end: float
+    activity: Activity
+    label: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """The state history of one traced entity (a processor or a thread)."""
+
+    entity: str
+    intervals: list[Interval] = field(default_factory=list)
+    _open_start: Optional[float] = None
+    _open_activity: Optional[Activity] = None
+    _open_label: str = ""
+
+    def begin(self, now: float, activity: Activity, label: str = "") -> None:
+        """Enter ``activity`` at time ``now``, closing any open interval."""
+        self.end(now)
+        self._open_start = now
+        self._open_activity = activity
+        self._open_label = label
+
+    def end(self, now: float) -> None:
+        """Close the currently open interval at time ``now`` (no-op if none)."""
+        if self._open_start is not None and self._open_activity is not None:
+            if now > self._open_start:
+                self.intervals.append(Interval(
+                    self._open_start, now, self._open_activity, self._open_label))
+            self._open_start = None
+            self._open_activity = None
+            self._open_label = ""
+
+    def total(self, activity: Activity) -> float:
+        return sum(iv.duration for iv in self.intervals if iv.activity == activity)
+
+    def busy_fraction(self, activity: Activity,
+                      horizon: Optional[float] = None) -> float:
+        """Fraction of ``[first_start, horizon or last_end]`` in ``activity``."""
+        if not self.intervals:
+            return 0.0
+        start = self.intervals[0].start
+        end = horizon if horizon is not None else self.intervals[-1].end
+        span = end - start
+        return self.total(activity) / span if span > 0 else 0.0
+
+    def gantt_row(self) -> list[tuple[float, float, str, str]]:
+        """Rows of ``(start, end, activity, label)`` for figure output."""
+        return [(iv.start, iv.end, iv.activity.value, iv.label)
+                for iv in self.intervals]
+
+
+class Tracer:
+    """Collects timelines and point events for one simulation run.
+
+    A single tracer may be shared by every host/thread in a cluster; it is
+    cheap when disabled (``enabled=False`` short-circuits all recording).
+    """
+
+    def __init__(self, sim: Simulator, enabled: bool = True):
+        self.sim = sim
+        self.enabled = enabled
+        self.timelines: dict[str, Timeline] = {}
+        self.events: list[tuple[float, str, str, Any]] = []
+
+    def timeline(self, entity: str) -> Timeline:
+        tl = self.timelines.get(entity)
+        if tl is None:
+            tl = Timeline(entity)
+            self.timelines[entity] = tl
+        return tl
+
+    def begin(self, entity: str, activity: Activity, label: str = "") -> None:
+        if self.enabled:
+            self.timeline(entity).begin(self.sim.now, activity, label)
+
+    def end(self, entity: str) -> None:
+        if self.enabled:
+            self.timeline(entity).end(self.sim.now)
+
+    def point(self, entity: str, kind: str, payload: Any = None) -> None:
+        """Record an instantaneous event (message sent, cell dropped...)."""
+        if self.enabled:
+            self.events.append((self.sim.now, entity, kind, payload))
+
+    def close_all(self) -> None:
+        """Close every open interval at the current time (end of run)."""
+        for tl in self.timelines.values():
+            tl.end(self.sim.now)
+
+    def points(self, kind: Optional[str] = None,
+               entity: Optional[str] = None) -> list[tuple[float, str, str, Any]]:
+        return [e for e in self.events
+                if (kind is None or e[2] == kind)
+                and (entity is None or e[1] == entity)]
+
+    def utilization_report(self) -> dict[str, dict[str, float]]:
+        """Per-entity fraction of time per activity — the Fig 16 data."""
+        horizon = self.sim.now
+        out: dict[str, dict[str, float]] = {}
+        for name, tl in self.timelines.items():
+            out[name] = {a.value: tl.busy_fraction(a, horizon) for a in Activity}
+        return out
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing (default for benchmarks)."""
+
+    def __init__(self, sim: Simulator):
+        super().__init__(sim, enabled=False)
+
+
+__all__.append("NullTracer")

@@ -1,0 +1,166 @@
+"""Integration tests for the three paper applications (small instances)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.fft import (
+    bit_reverse_indices, dif_fft_reference, make_samples, run_fft_ncs,
+    run_fft_p4, DifWorkerState,
+)
+from repro.apps.jpeg.distributed import band_slices, run_jpeg_ncs, run_jpeg_p4
+from repro.apps.jpeg.images import benchmark_image
+from repro.apps.matmul import (
+    _row_slices, make_matrices, run_matmul_ncs, run_matmul_p4,
+)
+from repro.core.mps import ServiceMode
+
+
+class TestMatmul:
+    @pytest.mark.parametrize("platform", ["ethernet", "nynet"])
+    @pytest.mark.parametrize("n_nodes", [1, 2, 4])
+    def test_p4_correct(self, platform, n_nodes):
+        r = run_matmul_p4(platform, n_nodes, n=32)
+        assert r.correct
+        assert r.makespan_s > 0
+
+    @pytest.mark.parametrize("platform", ["ethernet", "nynet"])
+    @pytest.mark.parametrize("n_nodes", [1, 2, 4])
+    def test_ncs_correct(self, platform, n_nodes):
+        r = run_matmul_ncs(platform, n_nodes, n=32)
+        assert r.correct
+
+    def test_ncs_over_hsm(self):
+        r = run_matmul_ncs("nynet", 2, n=32, mode=ServiceMode.HSM)
+        assert r.correct
+
+    def test_more_nodes_faster(self):
+        t1 = run_matmul_p4("ethernet", 1, n=64).makespan_s
+        t4 = run_matmul_p4("ethernet", 4, n=64).makespan_s
+        assert t4 < t1
+
+    def test_nynet_beats_ethernet(self):
+        """Every paper table's platform ordering."""
+        te = run_matmul_p4("ethernet", 2, n=64).makespan_s
+        tn = run_matmul_p4("nynet", 2, n=64).makespan_s
+        assert tn < te
+
+    def test_ncs_never_slower_at_scale(self):
+        """The paper's core result, at the full problem size."""
+        rp = run_matmul_p4("ethernet", 4, n=128)
+        rn = run_matmul_ncs("ethernet", 4, n=128)
+        assert rn.makespan_s < rp.makespan_s
+
+    def test_row_slices_validation(self):
+        with pytest.raises(ValueError):
+            _row_slices(10, 3)
+
+    def test_matrices_deterministic(self):
+        a1, b1 = make_matrices(16, seed=5)
+        a2, b2 = make_matrices(16, seed=5)
+        assert np.array_equal(a1, a2) and np.array_equal(b1, b2)
+
+
+class TestFftAlgorithm:
+    @pytest.mark.parametrize("m,p", [(16, 2), (64, 4), (256, 8), (512, 16)])
+    def test_reference_matches_numpy(self, m, p):
+        s = make_samples(m, 1)[0]
+        assert np.allclose(dif_fft_reference(s, p), np.fft.fft(s))
+
+    def test_bit_reverse_is_involution(self):
+        idx = bit_reverse_indices(64)
+        assert np.array_equal(idx[idx], np.arange(64))
+
+    def test_worker_state_validation(self):
+        with pytest.raises(ValueError):
+            DifWorkerState(0, 3, 16, np.zeros(2), np.zeros(2))
+        with pytest.raises(ValueError):
+            DifWorkerState(0, 2, 12, np.zeros(3), np.zeros(3))
+
+    def test_butterfly_counts(self):
+        st = DifWorkerState(0, 4, 64, np.zeros(8, complex),
+                            np.zeros(8, complex))
+        assert st.comm_stages == 2
+        assert st.local_stages == 4
+        assert st.n_butterflies() == 8 * 6
+
+    def test_comm_step_counts_match_paper(self):
+        """log2 N steps for p4 (Fig 19), log2 2N for NCS with the last
+        one local (Fig 20)."""
+        p4_worker = DifWorkerState(0, 4, 512, np.zeros(64, complex),
+                                   np.zeros(64, complex))
+        assert p4_worker.comm_stages == 2
+        ncs_worker = DifWorkerState(0, 8, 512, np.zeros(32, complex),
+                                    np.zeros(32, complex))
+        assert ncs_worker.comm_stages == 3
+        # the final NCS exchange (d == 1) pairs threads of one process
+        d_last = ncs_worker.n_workers >> ncs_worker.comm_stages
+        assert d_last == 1
+
+
+class TestFftDistributed:
+    @pytest.mark.parametrize("platform", ["ethernet", "nynet"])
+    def test_p4_correct(self, platform):
+        r = run_fft_p4(platform, 2, m=64, n_sets=2)
+        assert r.correct
+
+    @pytest.mark.parametrize("platform", ["ethernet", "nynet"])
+    def test_ncs_correct(self, platform):
+        r = run_fft_ncs(platform, 2, m=64, n_sets=2)
+        assert r.correct
+
+    def test_single_node(self):
+        assert run_fft_p4("ethernet", 1, m=64, n_sets=1).correct
+        assert run_fft_ncs("ethernet", 1, m=64, n_sets=1).correct
+
+    def test_four_nodes(self):
+        assert run_fft_ncs("nynet", 4, m=256, n_sets=1).correct
+
+    def test_scaling_direction(self):
+        t1 = run_fft_p4("nynet", 1).makespan_s
+        t4 = run_fft_p4("nynet", 4).makespan_s
+        assert t4 < t1
+
+
+class TestJpegDistributed:
+    def test_band_slices(self):
+        sls = band_slices(64, 4)
+        assert len(sls) == 4
+        assert sls[0] == slice(0, 16)
+        with pytest.raises(ValueError):
+            band_slices(64, 3)
+
+    @pytest.mark.parametrize("platform", ["ethernet", "nynet"])
+    def test_p4_pipeline_correct(self, platform):
+        img = benchmark_image(64, 96)
+        r = run_jpeg_p4(platform, 2, image=img)
+        assert r.correct
+
+    @pytest.mark.parametrize("platform", ["ethernet", "nynet"])
+    def test_ncs_pipeline_correct(self, platform):
+        img = benchmark_image(64, 96)
+        r = run_jpeg_ncs(platform, 2, image=img)
+        assert r.correct
+
+    def test_four_nodes(self):
+        img = benchmark_image(64, 96)
+        assert run_jpeg_ncs("ethernet", 4, image=img).correct
+
+    def test_odd_node_count_rejected(self):
+        with pytest.raises(ValueError):
+            run_jpeg_p4("ethernet", 3)
+
+    def test_ncs_beats_p4_full_size(self):
+        """Table 2's headline: the threaded pipeline wins clearly."""
+        rp = run_jpeg_p4("ethernet", 4)
+        rn = run_jpeg_ncs("ethernet", 4)
+        assert rn.makespan_s < 0.92 * rp.makespan_s
+
+    def test_improvement_largest_of_three_apps(self):
+        """The paper's improvement ordering: JPEG >> matmul."""
+        jp = run_jpeg_p4("ethernet", 4)
+        jn = run_jpeg_ncs("ethernet", 4)
+        mp = run_matmul_p4("ethernet", 4, n=128)
+        mn = run_matmul_ncs("ethernet", 4, n=128)
+        jpeg_imp = (jp.makespan_s - jn.makespan_s) / jp.makespan_s
+        mm_imp = (mp.makespan_s - mn.makespan_s) / mp.makespan_s
+        assert jpeg_imp > mm_imp

@@ -1,0 +1,194 @@
+"""Unit + property tests for the JPEG codec substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.apps.jpeg import (
+    BitReader, BitWriter, HuffmanCode, LUMINANCE_TABLE, benchmark_image,
+    blockify, compress, decompress, dct2, decode_blocks, dequantize,
+    encode_blocks, from_zigzag, idct2, psnr, quality_table, quantize,
+    to_zigzag, unblockify, zigzag_indices,
+)
+
+
+class TestDct:
+    def test_roundtrip_identity(self):
+        rng = np.random.default_rng(0)
+        blocks = rng.normal(size=(10, 8, 8))
+        assert np.allclose(idct2(dct2(blocks)), blocks)
+
+    def test_dc_of_constant_block(self):
+        block = np.full((1, 8, 8), 100.0)
+        coeffs = dct2(block)
+        assert coeffs[0, 0, 0] == pytest.approx(800.0)  # 8 * mean
+        assert np.allclose(coeffs[0].flat[1:], 0.0, atol=1e-10)
+
+    def test_orthonormality(self):
+        from repro.apps.jpeg.dct import dct_matrix
+        c = dct_matrix()
+        assert np.allclose(c @ c.T, np.eye(8), atol=1e-12)
+
+    def test_matches_scipy(self):
+        scipy = pytest.importorskip("scipy.fft")
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(8, 8))
+        ours = dct2(x[None])[0]
+        theirs = scipy.dctn(x, norm="ortho")
+        assert np.allclose(ours, theirs)
+
+    def test_blockify_roundtrip(self):
+        rng = np.random.default_rng(2)
+        img = rng.normal(size=(32, 48))
+        assert np.allclose(unblockify(blockify(img), 32, 48), img)
+
+    def test_blockify_rejects_unaligned(self):
+        with pytest.raises(ValueError):
+            blockify(np.zeros((10, 16)))
+
+    def test_blockify_order_row_major_blocks(self):
+        img = np.arange(16 * 16).reshape(16, 16).astype(float)
+        blocks = blockify(img)
+        assert blocks[0, 0, 0] == 0
+        assert blocks[1, 0, 0] == 8        # next block to the right
+        assert blocks[2, 0, 0] == 8 * 16   # next block row
+
+
+class TestQuantZigzag:
+    def test_quality_table_monotone(self):
+        t90 = quality_table(90)
+        t10 = quality_table(10)
+        assert np.all(t10 >= t90)
+
+    def test_quality_bounds(self):
+        with pytest.raises(ValueError):
+            quality_table(0)
+        with pytest.raises(ValueError):
+            quality_table(101)
+
+    def test_quantize_dequantize(self):
+        rng = np.random.default_rng(3)
+        coeffs = rng.normal(scale=100, size=(5, 8, 8))
+        table = quality_table(75)
+        q = quantize(coeffs, table)
+        back = dequantize(q, table)
+        assert np.max(np.abs(back - coeffs)) <= np.max(table) / 2 + 1e-9
+
+    def test_zigzag_starts_dc_and_covers_all(self):
+        zz = zigzag_indices()
+        assert zz[0] == 0 and zz[1] in (1, 8)
+        assert sorted(zz.tolist()) == list(range(64))
+
+    def test_zigzag_roundtrip(self):
+        rng = np.random.default_rng(4)
+        blocks = rng.integers(-50, 50, size=(7, 8, 8))
+        assert np.array_equal(from_zigzag(to_zigzag(blocks)), blocks)
+
+
+class TestRle:
+    def test_roundtrip_simple(self):
+        zz = np.zeros((3, 64), dtype=np.int32)
+        zz[0, 0] = 10
+        zz[1, 0] = 12
+        zz[1, 5] = -3
+        zz[2, 63] = 7
+        syms = encode_blocks(zz)
+        assert np.array_equal(decode_blocks(syms, 3), zz)
+
+    def test_dc_delta_coding(self):
+        zz = np.zeros((2, 64), dtype=np.int32)
+        zz[0, 0], zz[1, 0] = 100, 103
+        syms = encode_blocks(zz)
+        dcs = [s for s in syms if s[0] == "DC"]
+        assert dcs == [("DC", 100), ("DC", 3)]
+
+    @given(hnp.arrays(np.int32, (4, 64), elements=st.integers(-30, 30)))
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, zz):
+        assert np.array_equal(decode_blocks(encode_blocks(zz), 4), zz)
+
+
+class TestHuffman:
+    def test_bitwriter_reader_roundtrip(self):
+        w = BitWriter()
+        w.write(0b101, 3)
+        w.write(0b0110, 4)
+        w.write(1, 1)
+        data = w.getvalue()
+        r = BitReader(data)
+        assert r.read(3) == 0b101
+        assert r.read(4) == 0b0110
+        assert r.read(1) == 1
+
+    def test_bitwriter_rejects_oversize(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(4, 2)
+
+    def test_roundtrip(self):
+        symbols = list("abracadabra") * 5
+        code = HuffmanCode.from_symbols(symbols)
+        data = code.encode(symbols)
+        assert code.decode(data, len(symbols)) == symbols
+
+    def test_frequent_symbols_get_short_codes(self):
+        symbols = ["a"] * 100 + ["b"] * 10 + ["c"]
+        code = HuffmanCode.from_symbols(symbols)
+        assert code.lengths["a"] <= code.lengths["b"] <= code.lengths["c"]
+
+    def test_single_symbol_alphabet(self):
+        code = HuffmanCode.from_symbols(["x"] * 10)
+        data = code.encode(["x"] * 10)
+        assert code.decode(data, 10) == ["x"] * 10
+
+    def test_compresses_skewed_stream(self):
+        symbols = ["common"] * 1000 + ["rare%d" % i for i in range(8)]
+        code = HuffmanCode.from_symbols(symbols)
+        bits = code.encoded_bit_length(symbols)
+        assert bits < len(symbols) * 4  # far below fixed 4-bit coding
+
+    @given(st.lists(st.sampled_from("abcdef"), min_size=1, max_size=200))
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, symbols):
+        code = HuffmanCode.from_symbols(symbols)
+        assert code.decode(code.encode(symbols), len(symbols)) == symbols
+
+
+class TestCodec:
+    def test_roundtrip_quality(self):
+        img = benchmark_image(64, 96)
+        comp = compress(img)
+        rec = decompress(comp)
+        assert rec.shape == img.shape
+        assert psnr(img, rec) > 30.0
+
+    def test_compression_actually_compresses(self):
+        img = benchmark_image(64, 96)
+        comp = compress(img)
+        assert comp.nbytes < img.nbytes / 3
+
+    def test_quality_tradeoff(self):
+        img = benchmark_image(64, 96)
+        hi, lo = compress(img, 90), compress(img, 20)
+        assert hi.nbytes > lo.nbytes
+        assert psnr(img, decompress(hi)) > psnr(img, decompress(lo))
+
+    def test_deterministic(self):
+        img = benchmark_image(64, 64)
+        assert compress(img).payload == compress(img).payload
+
+    def test_uint8_required(self):
+        with pytest.raises(TypeError):
+            compress(np.zeros((8, 8), dtype=np.float64))
+
+    def test_benchmark_image_is_600k(self):
+        img = benchmark_image()
+        assert img.nbytes == 600 * 1024
+        assert img.dtype == np.uint8
+
+    def test_flat_image_compresses_extremely(self):
+        img = np.full((64, 64), 128, dtype=np.uint8)
+        comp = compress(img)
+        assert comp.nbytes < 600
+        assert np.array_equal(decompress(comp), img)

@@ -1,0 +1,29 @@
+"""Smoke tests for the table builders (reduced problem sizes)."""
+
+import pytest
+
+from repro.bench.tables import table1, table3
+
+
+class TestTableBuilders:
+    def test_table1_reduced(self):
+        table = table1(n=32)
+        assert len(table.rows) == 7          # 4 ethernet + 3 nynet cells
+        rendered = table.render()
+        assert "Matrix Multiplication" in rendered
+        for row in table.rows:
+            assert row.p4_s > 0 and row.ncs_s > 0
+            assert row.paper_p4_s is not None
+
+    def test_table3_reduced(self):
+        table = table3(m=64, n_sets=1)
+        assert len(table.rows) == 7
+        for row in table.rows:
+            assert row.p4_s > 0 and row.ncs_s > 0
+
+    def test_rows_cover_paper_cells(self):
+        table = table1(n=32)
+        keys = {(r.platform, r.n_nodes) for r in table.rows}
+        assert ("ethernet", 8) in keys
+        assert ("nynet", 4) in keys
+        assert ("nynet", 8) not in keys      # dash in the paper

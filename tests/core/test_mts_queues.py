@@ -1,0 +1,172 @@
+"""Unit + property tests for the Fig 9 queue data structures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mts import (
+    BlockedQueue, CircularQueue, MultilevelPriorityQueue, N_PRIORITY_LEVELS,
+)
+
+
+class TestCircularQueue:
+    def test_fifo(self):
+        q = CircularQueue()
+        for x in "abc":
+            q.append(x)
+        assert [q.popleft() for _ in range(3)] == list("abc")
+
+    def test_len_and_bool(self):
+        q = CircularQueue()
+        assert not q and len(q) == 0
+        q.append(1)
+        assert q and len(q) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            CircularQueue().popleft()
+
+    def test_remove_middle(self):
+        q = CircularQueue()
+        nodes = [q.append(x) for x in "abcd"]
+        q.remove(nodes[1])
+        q.remove(nodes[2])
+        assert list(q) == ["a", "d"]
+
+    def test_remove_foreign_node_rejected(self):
+        q1, q2 = CircularQueue(), CircularQueue()
+        node = q1.append("x")
+        with pytest.raises(ValueError):
+            q2.remove(node)
+
+    def test_remove_twice_rejected(self):
+        q = CircularQueue()
+        node = q.append("x")
+        q.remove(node)
+        with pytest.raises(ValueError):
+            q.remove(node)
+
+    def test_rotate_round_robin(self):
+        q = CircularQueue()
+        for x in "abc":
+            q.append(x)
+        q.rotate()
+        assert list(q) == ["b", "c", "a"]
+
+    def test_circularity_invariant(self):
+        q = CircularQueue()
+        nodes = [q.append(i) for i in range(5)]
+        # walking size steps from head returns to head
+        node = q._head
+        for _ in range(len(q)):
+            node = node.next
+        assert node is q._head
+
+    @given(st.lists(st.sampled_from(["push", "pop"]), max_size=60))
+    @settings(max_examples=60)
+    def test_matches_reference_deque(self, script):
+        from collections import deque
+        q, ref = CircularQueue(), deque()
+        counter = 0
+        for step in script:
+            if step == "push":
+                q.append(counter)
+                ref.append(counter)
+                counter += 1
+            elif ref:
+                assert q.popleft() == ref.popleft()
+            else:
+                with pytest.raises(IndexError):
+                    q.popleft()
+            assert list(q) == list(ref)
+
+
+class TestMultilevelPriorityQueue:
+    def test_sixteen_default_levels(self):
+        assert MultilevelPriorityQueue().levels == N_PRIORITY_LEVELS == 16
+
+    def test_higher_priority_first(self):
+        q = MultilevelPriorityQueue()
+        q.enqueue("low", 8)
+        q.enqueue("high", 0)
+        q.enqueue("mid", 4)
+        assert [q.dequeue() for _ in range(3)] == ["high", "mid", "low"]
+
+    def test_round_robin_within_level(self):
+        q = MultilevelPriorityQueue()
+        for x in "abc":
+            q.enqueue(x, 5)
+        out = []
+        for _ in range(6):
+            item = q.dequeue()
+            out.append(item)
+            q.enqueue(item, 5)  # re-enqueue, as the scheduler does on yield
+        assert out == ["a", "b", "c", "a", "b", "c"]
+
+    def test_dequeue_empty_returns_none(self):
+        assert MultilevelPriorityQueue().dequeue() is None
+
+    def test_priority_range_checked(self):
+        q = MultilevelPriorityQueue()
+        with pytest.raises(ValueError):
+            q.enqueue("x", 16)
+        with pytest.raises(ValueError):
+            q.enqueue("x", -1)
+
+    def test_remove_by_node(self):
+        q = MultilevelPriorityQueue()
+        node = q.enqueue("victim", 3)
+        q.enqueue("other", 3)
+        q.remove(node)
+        assert len(q) == 1 and q.dequeue() == "other"
+
+    def test_level_sizes(self):
+        q = MultilevelPriorityQueue()
+        q.enqueue("a", 0)
+        q.enqueue("b", 0)
+        q.enqueue("c", 15)
+        sizes = q.level_sizes()
+        assert sizes[0] == 2 and sizes[15] == 1 and sum(sizes) == 3
+
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 1000)),
+                    max_size=50))
+    @settings(max_examples=50)
+    def test_dequeue_order_property(self, items):
+        """Dequeue must always return an item from the lowest-numbered
+        non-empty level, FIFO within that level."""
+        q = MultilevelPriorityQueue()
+        by_level = {p: [] for p in range(16)}
+        for prio, val in items:
+            q.enqueue(val, prio)
+            by_level[prio].append(val)
+        for _ in range(len(items)):
+            got = q.dequeue()
+            lowest = min(p for p in range(16) if by_level[p])
+            assert got == by_level[lowest].pop(0)
+        assert q.dequeue() is None
+
+
+class TestBlockedQueue:
+    def test_add_remove(self):
+        bq = BlockedQueue()
+        bq.add(1, "t1")
+        bq.add(2, "t2")
+        assert 1 in bq and len(bq) == 2
+        assert bq.remove(1) == "t1"
+        assert 1 not in bq
+
+    def test_duplicate_key_rejected(self):
+        bq = BlockedQueue()
+        bq.add(1, "x")
+        with pytest.raises(ValueError):
+            bq.add(1, "y")
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            BlockedQueue().remove(42)
+
+    def test_items_in_insertion_order(self):
+        bq = BlockedQueue()
+        for k in (3, 1, 2):
+            bq.add(k, f"t{k}")
+        assert bq.items() == ["t3", "t1", "t2"]

@@ -1,0 +1,142 @@
+"""Edge-case tests for the scheduler and p4 library internals."""
+
+import pytest
+
+from repro.core import NcsRuntime
+from repro.core.mts import MtsScheduler, SchedulerError, ThreadState
+from repro.core.mps import PvmFilter
+from repro.hosts import Host, OsProcess
+from repro.net import build_ethernet_cluster
+from repro.p4 import P4Runtime
+from repro.sim import Simulator
+
+
+class TestSchedulerEdges:
+    def make(self):
+        sim = Simulator()
+        host = Host(sim, "h0")
+        return sim, MtsScheduler(OsProcess(host, 0))
+
+    def test_spawn_after_start_runs(self):
+        sim, sched = self.make()
+        seen = []
+        def early(ctx):
+            yield ctx.compute(0.5)
+            seen.append("early")
+        sched.t_create(early)
+        sched.start()
+        sim.run(until=0.1)
+        def late(ctx):
+            yield ctx.compute(0.1)
+            seen.append("late")
+        sched.t_create(late)
+        sim.run()
+        assert sorted(seen) == ["early", "late"]
+
+    def test_unblock_finished_thread_is_noop(self):
+        sim, sched = self.make()
+        def quick(ctx):
+            yield ctx.compute(0.01)
+        tid = sched.t_create(quick)
+        sched.start()
+        sim.run()
+        sched.unblock(tid)  # must not raise
+
+    def test_unblock_unknown_tid_raises(self):
+        sim, sched = self.make()
+        with pytest.raises(SchedulerError):
+            sched.unblock(999)
+
+    def test_unblock_thread_in_mps_wait_rejected(self):
+        """NCS_unblock must not corrupt a thread parked in NCS_recv."""
+        cluster = build_ethernet_cluster(2)
+        rt = NcsRuntime(cluster)
+        def waiter(ctx):
+            yield ctx.recv()
+        def meddler(ctx, victim):
+            yield ctx.compute(0.01)
+            yield ctx.unblock(victim)
+        victim = rt.t_create(0, waiter)
+        rt.t_create(0, meddler, (victim,))
+        with pytest.raises(SchedulerError, match="blocked in"):
+            rt.run(max_events=200_000)
+
+    def test_priority_out_of_range(self):
+        sim, sched = self.make()
+        def body(ctx):
+            yield ctx.compute(0)
+        with pytest.raises(ValueError):
+            sched.t_create(body, priority=16)
+
+    def test_join_self_deadlocks_detectably(self):
+        sim, sched = self.make()
+        def narcissist(ctx):
+            yield ctx.join(ctx.my_tid)
+        tid = sched.t_create(narcissist)
+        sched.start()
+        sim.run()
+        assert sched.thread(tid).state is ThreadState.BLOCKED
+
+
+class TestP4LibraryStream:
+    def test_same_destination_messages_ordered(self):
+        cluster = build_ethernet_cluster(2)
+        rt = P4Runtime(cluster)
+        def sender(p4):
+            # interleave big and tiny sends: tiny ones must not overtake
+            for i, size in enumerate([40_000, 10, 20_000, 10, 10]):
+                yield from p4.send(1, 1, i, size)
+        def receiver(p4):
+            out = []
+            for _ in range(5):
+                msg = yield from p4.recv()
+                out.append(msg.data)
+            return out
+        rt.spawn(0, sender)
+        p = rt.spawn(1, receiver)
+        cluster.sim.run(max_events=3_000_000)
+        assert p.value == [0, 1, 2, 3, 4]
+
+    def test_sender_not_captive_to_wire(self):
+        """p4's buffered sends: the sender finishes its send loop far
+        before the bytes drain (the library stream carries them)."""
+        cluster = build_ethernet_cluster(2)
+        rt = P4Runtime(cluster)
+        marks = {}
+        def sender(p4):
+            for i in range(3):
+                yield from p4.send(1, 1, i, 100_000)
+            marks["sends_done"] = cluster.sim.now
+        def receiver(p4):
+            for _ in range(3):
+                yield from p4.recv()
+            marks["recv_done"] = cluster.sim.now
+        rt.spawn(0, sender)
+        rt.spawn(1, receiver)
+        cluster.sim.run(max_events=5_000_000)
+        assert marks["sends_done"] < 0.5 * marks["recv_done"]
+
+
+class TestPvmMcast:
+    def test_mcast_reaches_listed_tasks(self):
+        cluster = build_ethernet_cluster(3)
+        rt = NcsRuntime(cluster)
+        tids = {}
+        def root(ctx):
+            pvm = PvmFilter(ctx)
+            targets = [PvmFilter.pack(1, tids[1]), PvmFilter.pack(2, tids[2])]
+            yield pvm.mcast(targets, 5, "multicast!", 256)
+        def leaf(ctx):
+            pvm = PvmFilter(ctx)
+            msg = yield pvm.precv(msgtag=5)
+            return msg.data
+        tids[1] = rt.t_create(1, leaf)
+        tids[2] = rt.t_create(2, leaf)
+        rt.t_create(0, root)
+        rt.run(max_events=1_000_000)
+        assert rt.thread_result(1, tids[1]) == "multicast!"
+        assert rt.thread_result(2, tids[2]) == "multicast!"
+
+    def test_pack_range_validation(self):
+        with pytest.raises(ValueError):
+            PvmFilter.pack(1, 0x10000)

@@ -1,0 +1,110 @@
+"""Property-based tests on the MTS scheduler.
+
+Random workloads of compute/yield/sleep/spawn ops must always drain,
+priorities must always be respected at dispatch, and total charged CPU
+must equal the sum of compute requests (conservation of simulated work).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mts import MtsScheduler, ThreadState
+from repro.hosts import Host, OsProcess
+from repro.sim import Activity, Simulator, Tracer
+
+# one random thread body = a list of (op, arg) instructions
+op_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("compute"), st.floats(0.0001, 0.01)),
+        st.tuples(st.just("yield"), st.none()),
+        st.tuples(st.just("sleep"), st.floats(0.0001, 0.005)),
+    ),
+    min_size=0, max_size=6)
+
+
+def make_env(trace=False):
+    sim = Simulator()
+    tracer = Tracer(sim) if trace else None
+    host = Host(sim, "h0", tracer=tracer)
+    host.compute_quantum = None  # exact conservation accounting
+    sched = MtsScheduler(OsProcess(host, 0))
+    return sim, host, sched
+
+
+def body_from_script(script):
+    def body(ctx):
+        total = 0.0
+        for op, arg in script:
+            if op == "compute":
+                yield ctx.compute(arg)
+                total += arg
+            elif op == "yield":
+                yield ctx.yield_cpu()
+            elif op == "sleep":
+                yield ctx.sleep(arg)
+        return total
+    return body
+
+
+class TestSchedulerProperties:
+    @given(st.lists(st.tuples(op_strategy, st.integers(0, 15)),
+                    min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_all_threads_finish_and_work_is_conserved(self, specs):
+        sim, host, sched = make_env(trace=True)
+        tids = []
+        expected_compute = 0.0
+        for script, priority in specs:
+            tids.append(sched.t_create(body_from_script(script),
+                                       priority=priority))
+            expected_compute += sum(arg for op, arg in script
+                                    if op == "compute")
+        done = sched.start()
+        sim.run(max_events=200_000)
+        assert done.triggered
+        for tid in tids:
+            assert sched.thread(tid).state is ThreadState.FINISHED
+        host.tracer.close_all()
+        tl = host.tracer.timelines.get("h0")
+        measured = tl.total(Activity.COMPUTE) if tl else 0.0
+        assert measured == pytest.approx(expected_compute, abs=1e-9)
+        # makespan can exceed pure compute (sleeps, switches) but never
+        # undercut it
+        assert sim.now >= expected_compute - 1e-9
+
+    @given(st.lists(st.integers(0, 15), min_size=2, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_first_dispatch_order_respects_priority(self, priorities):
+        sim, host, sched = make_env()
+        order = []
+        def body(ctx, idx):
+            order.append(idx)
+            yield ctx.compute(0.001)
+        for i, prio in enumerate(priorities):
+            sched.t_create(body, (i,), priority=prio)
+        sched.start()
+        sim.run(max_events=100_000)
+        # the dispatch order must be a stable sort of (priority, index)
+        expected = [i for _, i in sorted(
+            (p, i) for i, p in enumerate(priorities))]
+        assert order == expected
+
+    @given(st.integers(1, 12))
+    @settings(max_examples=10, deadline=None)
+    def test_spawn_chains_terminate(self, depth):
+        sim, host, sched = make_env()
+        finished = []
+        def link(ctx, remaining):
+            if remaining > 0:
+                tid = yield ctx.spawn(link, remaining - 1)
+                val = yield ctx.join(tid)
+                finished.append(remaining)
+                return val + 1
+            finished.append(0)
+            return 0
+        root = sched.t_create(link, (depth,))
+        sched.start()
+        sim.run(max_events=200_000)
+        assert sched.thread(root).result == depth
+        assert len(finished) == depth + 1

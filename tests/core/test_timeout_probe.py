@@ -1,0 +1,126 @@
+"""Tests for NCS_recv timeouts and the probe primitive (§3.1 exception
+handling service class)."""
+
+import pytest
+
+from repro.core import NcsRuntime
+from repro.core.mps import RecvTimeout
+from repro.net import build_ethernet_cluster
+
+
+def make(n=2):
+    cluster = build_ethernet_cluster(n)
+    return cluster, NcsRuntime(cluster)
+
+
+class TestRecvTimeout:
+    def test_timeout_fires_when_no_message(self):
+        cluster, rt = make()
+        def lonely(ctx):
+            try:
+                yield ctx.recv(timeout=0.25)
+            except RecvTimeout as e:
+                return ("timed-out", e.seconds, round(ctx.now, 6))
+        tid = rt.t_create(0, lonely)
+        rt.run(max_events=500_000)
+        verdict, secs, when = rt.thread_result(0, tid)
+        assert verdict == "timed-out" and secs == 0.25
+        assert when >= 0.25
+
+    def test_message_beats_timeout(self):
+        cluster, rt = make()
+        def receiver(ctx):
+            msg = yield ctx.recv(timeout=10.0)
+            return msg.data
+        def sender(ctx, rtid):
+            yield ctx.send(rtid, 0, "fast", 64)
+        rtid = rt.t_create(0, receiver)
+        rt.t_create(1, sender, (rtid,))
+        rt.run(max_events=500_000)
+        assert rt.thread_result(0, rtid) == "fast"
+
+    def test_thread_usable_after_timeout(self):
+        cluster, rt = make()
+        def persistent(ctx):
+            try:
+                yield ctx.recv(timeout=0.1)
+            except RecvTimeout:
+                pass
+            msg = yield ctx.recv()      # no timeout: waits for real data
+            return msg.data
+        def late_sender(ctx, rtid):
+            yield ctx.sleep(0.5)
+            yield ctx.send(rtid, 0, "late", 64)
+        rtid = rt.t_create(0, persistent)
+        rt.t_create(1, late_sender, (rtid,))
+        rt.run(max_events=500_000)
+        assert rt.thread_result(0, rtid) == "late"
+
+    def test_negative_timeout_rejected(self):
+        from repro.core.mts import ops
+        with pytest.raises(ValueError):
+            ops.Recv(timeout=-1.0)
+
+    def test_timeout_zero_expires_if_nothing_queued(self):
+        cluster, rt = make()
+        def impatient(ctx):
+            try:
+                yield ctx.recv(timeout=0.0)
+            except RecvTimeout:
+                return "instant"
+        tid = rt.t_create(0, impatient)
+        rt.run(max_events=500_000)
+        assert rt.thread_result(0, tid) == "instant"
+
+
+class TestProbe:
+    def test_probe_false_then_true(self):
+        cluster, rt = make()
+        def poller(ctx):
+            early = yield ctx.probe()
+            while not (yield ctx.probe()):
+                yield ctx.sleep(0.05)
+            msg = yield ctx.recv()
+            return (early, msg.data)
+        def sender(ctx, rtid):
+            yield ctx.sleep(0.4)
+            yield ctx.send(rtid, 0, "polled", 64)
+        rtid = rt.t_create(0, poller)
+        rt.t_create(1, sender, (rtid,))
+        rt.run(max_events=1_000_000)
+        early, data = rt.thread_result(0, rtid)
+        assert early is False and data == "polled"
+
+    def test_probe_respects_filters(self):
+        cluster, rt = make()
+        def receiver(ctx):
+            yield ctx.recv(tag=1)             # consume the tag-1 message
+            while not (yield ctx.probe(tag=2)):
+                yield ctx.sleep(0.01)         # tag-2 still in flight
+            wrong_tag = yield ctx.probe(tag=99)
+            right_tag = yield ctx.probe(tag=2)
+            msg = yield ctx.recv(tag=2)
+            return (wrong_tag, right_tag, msg.data)
+        def sender(ctx, rtid):
+            yield ctx.send(rtid, 0, "first", 64, tag=1)
+            yield ctx.send(rtid, 0, "second", 64, tag=2)
+        rtid = rt.t_create(0, receiver)
+        rt.t_create(1, sender, (rtid,))
+        rt.run(max_events=1_000_000)
+        assert rt.thread_result(0, rtid) == (False, True, "second")
+
+    def test_probe_is_nondestructive(self):
+        cluster, rt = make()
+        def receiver(ctx):
+            while not (yield ctx.probe()):
+                yield ctx.sleep(0.01)
+            a = yield ctx.probe()
+            b = yield ctx.probe()
+            msg = yield ctx.recv()
+            return (a, b, msg.data)
+        def sender(ctx, rtid):
+            yield ctx.send(rtid, 0, "still-there", 64)
+        rtid = rt.t_create(0, receiver)
+        rt.t_create(1, sender, (rtid,))
+        rt.run(max_events=1_000_000)
+        assert rt.thread_result(0, rtid) == (True, True, "still-there")

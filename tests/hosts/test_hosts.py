@@ -1,0 +1,194 @@
+"""Unit tests for the host/CPU/OS cost models."""
+
+import math
+
+import pytest
+
+from repro.hosts import (
+    CpuModel, Host, KernelBufferPool, OsCosts, OsProcess, SUN_ELC, SUN_IPX,
+)
+from repro.sim import Activity, Simulator, Tracer
+
+
+class TestCpuModel:
+    def test_cycles(self):
+        cpu = CpuModel(clock_hz=40e6)
+        assert cpu.cycles(40) == pytest.approx(1e-6)
+
+    def test_flops(self):
+        cpu = CpuModel(flop_time=2e-6)
+        assert cpu.flops(1000) == pytest.approx(2e-3)
+
+    def test_copy_time_counts_words(self):
+        cpu = CpuModel(bus_access_time=100e-9, word_bytes=4)
+        # 1024 bytes = 256 words, 2 accesses each
+        assert cpu.copy_time(1024, 2) == pytest.approx(256 * 2 * 100e-9)
+
+    def test_copy_time_rounds_partial_word_up(self):
+        cpu = CpuModel(bus_access_time=100e-9, word_bytes=4)
+        assert cpu.copy_time(5, 1) == pytest.approx(2 * 100e-9)
+
+    def test_touch_is_one_access(self):
+        cpu = CpuModel()
+        assert cpu.touch_time(4096) == pytest.approx(cpu.copy_time(4096, 1))
+
+    def test_zero_bytes_costs_nothing(self):
+        assert CpuModel().copy_time(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            CpuModel().copy_time(-1)
+
+    def test_invalid_constants_rejected(self):
+        with pytest.raises(ValueError):
+            CpuModel(clock_hz=0)
+        with pytest.raises(ValueError):
+            CpuModel(flop_time=-1)
+        with pytest.raises(ValueError):
+            CpuModel(word_bytes=0)
+
+    def test_datapath_ratio_five_to_three(self):
+        """The Fig 3 argument: socket path 5 accesses/word, NCS path 3."""
+        cpu = CpuModel()
+        n = 64 * 1024
+        assert cpu.copy_time(n, 5) / cpu.copy_time(n, 3) == pytest.approx(5 / 3)
+
+
+class TestOsCosts:
+    def test_defaults_consistent(self):
+        os = OsCosts()
+        assert os.trap_time < os.syscall_time
+        assert os.thread_switch_time < os.process_switch_time
+
+    def test_trap_cheaper_than_syscall_enforced(self):
+        with pytest.raises(ValueError):
+            OsCosts(syscall_time=1e-6, trap_time=2e-6)
+
+    def test_thread_switch_cheaper_enforced(self):
+        with pytest.raises(ValueError):
+            OsCosts(process_switch_time=1e-6, thread_switch_time=2e-6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OsCosts(syscall_time=-1)
+
+
+class TestKernelBufferPool:
+    def test_chunking_exact(self):
+        pool = KernelBufferPool(count=2, buffer_bytes=100)
+        assert pool.chunks(250) == [100, 100, 50]
+
+    def test_chunking_exact_multiple(self):
+        pool = KernelBufferPool(buffer_bytes=100)
+        assert pool.chunks(200) == [100, 100]
+
+    def test_zero_message_one_empty_chunk(self):
+        assert KernelBufferPool().chunks(0) == [0]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            KernelBufferPool(count=0)
+        with pytest.raises(ValueError):
+            KernelBufferPool(buffer_bytes=0)
+        with pytest.raises(ValueError):
+            KernelBufferPool().chunks(-5)
+
+
+class TestHost:
+    def test_cpu_busy_serializes(self):
+        """Two 1 s computations on one CPU take 2 s of wall time (COMPUTE
+        is sliced into preemption quanta, so they interleave — but never
+        overlap)."""
+        sim = Simulator()
+        host = Host(sim, "h0")
+        done = []
+        def worker(tag):
+            yield from host.cpu_busy(1.0)
+            done.append((tag, sim.now))
+        sim.process(worker("a"))
+        sim.process(worker("b"))
+        sim.run()
+        assert len(done) == 2
+        assert max(t for _, t in done) == pytest.approx(2.0)
+
+    def test_cpu_busy_unquantized_runs_to_completion(self):
+        """With preemption disabled, jobs run back to back."""
+        sim = Simulator()
+        host = Host(sim, "h0")
+        host.compute_quantum = None
+        done = []
+        def worker(tag):
+            yield from host.cpu_busy(1.0)
+            done.append((tag, sim.now))
+        sim.process(worker("a"))
+        sim.process(worker("b"))
+        sim.run()
+        assert done == [("a", 1.0), ("b", 2.0)]
+
+    def test_cpu_busy_zero_is_free(self):
+        sim = Simulator()
+        host = Host(sim, "h0")
+        def worker():
+            yield from host.cpu_busy(0.0)
+            return sim.now
+        assert sim.run_process(worker()) == 0.0
+
+    def test_cpu_busy_negative_rejected(self):
+        sim = Simulator()
+        host = Host(sim, "h0")
+        def worker():
+            yield from host.cpu_busy(-1.0)
+        proc = sim.process(worker())
+        sim.run()
+        assert not proc.ok
+
+    def test_tracer_records_activity(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        host = Host(sim, "h0", tracer=tracer)
+        def worker():
+            yield from host.cpu_busy(2.0, Activity.COMPUTE, "matmul")
+            yield sim.timeout(1.0)
+            yield from host.cpu_busy(1.0, Activity.COMMUNICATE, "send")
+        sim.run_process(worker())
+        tracer.close_all()
+        tl = tracer.timeline("h0")
+        assert tl.total(Activity.COMPUTE) == pytest.approx(2.0)
+        assert tl.total(Activity.COMMUNICATE) == pytest.approx(1.0)
+
+    def test_interface_registration(self):
+        sim = Simulator()
+        host = Host(sim, "h0")
+        host.attach_interface("ethernet", object())
+        with pytest.raises(ValueError):
+            host.attach_interface("ethernet", object())
+        with pytest.raises(KeyError):
+            host.interface("atm")
+
+    def test_presets_sane(self):
+        assert SUN_IPX.cpu.clock_hz > SUN_ELC.cpu.clock_hz
+        assert SUN_IPX.cpu.flop_time < SUN_ELC.cpu.flop_time
+
+
+class TestOsProcess:
+    def test_pid_registration(self):
+        sim = Simulator()
+        host = Host(sim, "h0")
+        p = OsProcess(host, pid=3)
+        assert host.processes[3] is p
+        with pytest.raises(ValueError):
+            OsProcess(host, pid=3)
+
+    def test_process_cpu_goes_through_host(self):
+        sim = Simulator()
+        host = Host(sim, "h0")
+        a, b = OsProcess(host, 0), OsProcess(host, 1)
+        ends = []
+        def worker(proc):
+            yield from proc.cpu_busy(1.0)
+            ends.append(sim.now)
+        sim.process(worker(a))
+        sim.process(worker(b))
+        sim.run()
+        # one CPU, two processes: 2 s of work takes 2 s of wall time
+        assert max(ends) == pytest.approx(2.0)

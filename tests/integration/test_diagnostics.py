@@ -1,0 +1,71 @@
+"""Tests for the cluster diagnostics module."""
+
+import pytest
+
+from repro.core import NcsRuntime
+from repro.core.mps import ServiceMode
+from repro.diagnostics import cluster_report, render_report
+from repro.net import build_atm_cluster, build_ethernet_cluster
+
+
+def run_workload(cluster, mode):
+    rt = NcsRuntime(cluster, mode=mode)
+
+    def sender(ctx, rtid):
+        for i in range(4):
+            yield ctx.send(rtid, 1, i, 20_000)
+
+    def receiver(ctx):
+        for _ in range(4):
+            yield ctx.recv()
+
+    rtid = rt.t_create(1, receiver)
+    rt.t_create(0, sender, (rtid,))
+    rt.run(max_events=2_000_000)
+    return rt
+
+
+class TestClusterReport:
+    def test_ethernet_report_counts_traffic(self):
+        cluster = build_ethernet_cluster(2)
+        rt = run_workload(cluster, ServiceMode.P4)
+        report = cluster_report(cluster, rt)
+        assert report["medium"] == "ethernet"
+        assert report["ethernet"]["frames_delivered"] > 0
+        host0 = report["hosts"]["n0"]
+        assert host0["tcp"]["segments_sent"] > 0
+        assert host0["ip"]["packets_sent"] > 0
+        assert report["ncs"]["pid0"]["data_sent"] == 4
+        assert report["ncs"]["pid1"]["data_received"] == 4
+
+    def test_atm_report_counts_cells(self):
+        cluster = build_atm_cluster(2)
+        rt = run_workload(cluster, ServiceMode.HSM)
+        report = cluster_report(cluster, rt)
+        assert report["medium"] == "atm-lan"
+        assert report["atm_switches"]["fore-sw"]["bursts_forwarded"] > 0
+        assert report["hosts"]["n0"]["atm"]["cells_sent"] > 0
+        assert report["hosts"]["n1"]["atm"]["pdus_received"] > 0
+        # HSM bypasses TCP entirely
+        assert report["hosts"]["n0"]["tcp"]["segments_sent"] == 0
+
+    def test_transport_counters_reflect_mode(self):
+        eth = build_ethernet_cluster(2)
+        rt = run_workload(eth, ServiceMode.NSM)
+        rep = cluster_report(eth, rt)
+        assert rep["ncs"]["pid0"]["transport_messages"] == 4
+        assert rep["ncs"]["pid0"]["transport_bytes"] == 4 * 20_000
+
+    def test_report_without_runtime(self):
+        cluster = build_ethernet_cluster(2)
+        report = cluster_report(cluster)
+        assert "ncs" not in report
+        assert set(report["hosts"]) == {"n0", "n1"}
+
+    def test_render_is_readable(self):
+        cluster = build_atm_cluster(2)
+        rt = run_workload(cluster, ServiceMode.HSM)
+        text = render_report(cluster_report(cluster, rt))
+        assert "atm_switches" in text
+        assert "cells_sent" in text
+        assert text.count("\n") > 10

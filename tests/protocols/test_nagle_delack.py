@@ -1,0 +1,112 @@
+"""Tests for the era-faithful TCP pathologies: delayed ACKs and Nagle.
+
+These are the stack behaviours behind the calibration notes in
+EXPERIMENTS.md — verified here in isolation.
+"""
+
+import pytest
+
+from repro.net import build_ethernet_cluster
+from repro.protocols import TcpParams
+
+
+def one_transfer(tcp_params, nbytes, n_messages=1):
+    cluster = build_ethernet_cluster(2, tcp_params=tcp_params)
+    sim = cluster.sim
+    ssock, dsock = cluster.stack(0).socket, cluster.stack(1).socket
+    tx = cluster.stack(0).tcp.connection("n1")
+    rx = cluster.stack(1).tcp.connection("n0")
+
+    def sender():
+        for i in range(n_messages):
+            yield from ssock.send(tx, i, nbytes)
+
+    def receiver():
+        for _ in range(n_messages):
+            yield from dsock.recv(rx)
+        return sim.now
+
+    sim.process(sender())
+    p = sim.process(receiver())
+    sim.run(max_events=5_000_000)
+    return p.value, tx
+
+
+class TestDelayedAck:
+    def test_pure_delayed_acking_stalls_stream(self):
+        fast = TcpParams(window_bytes=4096, delayed_ack_s=0.0)
+        slow = TcpParams(window_bytes=4096, delayed_ack_s=0.05,
+                         ack_every=999)
+        t_fast, _ = one_transfer(fast, 64 * 1024)
+        t_slow, _ = one_transfer(slow, 64 * 1024)
+        # window/delay = 4096B / 50ms -> ~80 KB/s: an order slower
+        assert t_slow > 5 * t_fast
+
+    def test_ack_every_two_mostly_flows(self):
+        eager = TcpParams(window_bytes=8192, delayed_ack_s=0.0)
+        standard = TcpParams(window_bytes=8192, delayed_ack_s=0.05,
+                             ack_every=2)
+        t_eager, _ = one_transfer(eager, 64 * 1024)
+        t_std, _ = one_transfer(standard, 64 * 1024)
+        # self-clocking keeps pairs of segments ack'd promptly; only the
+        # odd tail can stall, so the slowdown is bounded
+        assert t_std < t_eager + 3 * 0.05 + 0.01
+
+    def test_single_segment_window_pathology(self):
+        """When the window holds <2 segments, every segment is 'lone' and
+        waits out the delayed-ACK timer — the classic IP-over-ATM
+        small-socket-buffer trap documented in apps/common.py."""
+        trap = TcpParams(window_bytes=1460, delayed_ack_s=0.05, ack_every=2)
+        t, conn = one_transfer(trap, 16 * 1024)
+        segments = -(-16 * 1024 // 1460)     # ceil
+        assert t > (segments - 1) * 0.05     # one stall per segment
+
+
+class TestNagle:
+    def test_nagle_off_by_default(self):
+        assert TcpParams().nagle is False
+
+    def test_nagle_stalls_back_to_back_small_messages(self):
+        base = dict(window_bytes=8192, delayed_ack_s=0.05, ack_every=2)
+        without = TcpParams(**base, nagle=False)
+        with_nagle = TcpParams(**base, nagle=True)
+        t_off, _ = one_transfer(without, 300, n_messages=6)
+        t_on, _ = one_transfer(with_nagle, 300, n_messages=6)
+        # each runt after the first waits for the delayed ACK of its
+        # predecessor: ~50 ms per message
+        assert t_on > t_off + 4 * 0.05
+        assert t_off < 0.1
+
+    def test_nagle_harmless_for_bulk(self):
+        base = dict(window_bytes=8192, delayed_ack_s=0.05, ack_every=2)
+        t_off, _ = one_transfer(TcpParams(**base, nagle=False), 512 * 1024)
+        t_on, _ = one_transfer(TcpParams(**base, nagle=True), 512 * 1024)
+        # full-size segments are never held; only the final runt can wait
+        assert t_on < t_off * 1.05 + 0.06
+
+    def test_nagle_data_still_exact(self):
+        params = TcpParams(window_bytes=4096, delayed_ack_s=0.05,
+                           ack_every=2, nagle=True)
+        cluster = build_ethernet_cluster(2, tcp_params=params)
+        sim = cluster.sim
+        ssock, dsock = cluster.stack(0).socket, cluster.stack(1).socket
+        tx = cluster.stack(0).tcp.connection("n1")
+        rx = cluster.stack(1).tcp.connection("n0")
+        sizes = [7, 4000, 12, 9000, 1]
+
+        def sender():
+            for i, s in enumerate(sizes):
+                yield from ssock.send(tx, (i, s), s)
+
+        def receiver():
+            out = []
+            for _ in sizes:
+                payload, nbytes = yield from dsock.recv(rx)
+                out.append((payload, nbytes))
+            return out
+
+        sim.process(sender())
+        p = sim.process(receiver())
+        sim.run(max_events=5_000_000)
+        assert [n for _, n in p.value] == sizes
+        assert [pay[0] for pay, _ in p.value] == list(range(len(sizes)))

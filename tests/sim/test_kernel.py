@@ -1,0 +1,270 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf, AnyOf, Event, Interrupt, SimulationError, Simulator,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestClockAndTimeouts:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_timeout_advances_clock(self, sim):
+        def proc(sim):
+            yield sim.timeout(2.5)
+        sim.run_process(proc(sim))
+        assert sim.now == 2.5
+
+    def test_timeouts_process_in_order(self, sim):
+        order = []
+        def waiter(sim, delay, tag):
+            yield sim.timeout(delay)
+            order.append(tag)
+        sim.process(waiter(sim, 3.0, "c"))
+        sim.process(waiter(sim, 1.0, "a"))
+        sim.process(waiter(sim, 2.0, "b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_equal_time_fifo_order(self, sim):
+        order = []
+        def waiter(sim, tag):
+            yield sim.timeout(1.0)
+            order.append(tag)
+        for tag in "abcd":
+            sim.process(waiter(sim, tag))
+        sim.run()
+        assert order == list("abcd")
+
+    def test_negative_timeout_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_timeout_value_passthrough(self, sim):
+        def proc(sim):
+            got = yield sim.timeout(1.0, value="payload")
+            return got
+        assert sim.run_process(proc(sim)) == "payload"
+
+    def test_run_until_stops_clock(self, sim):
+        def proc(sim):
+            yield sim.timeout(10.0)
+        sim.process(proc(sim))
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+        sim.run()
+        assert sim.now == 10.0
+
+    def test_zero_delay_timeout(self, sim):
+        def proc(sim):
+            yield sim.timeout(0.0)
+            return sim.now
+        assert sim.run_process(proc(sim)) == 0.0
+
+
+class TestEvents:
+    def test_succeed_delivers_value(self, sim):
+        ev = sim.event()
+        def producer(sim):
+            yield sim.timeout(1.0)
+            ev.succeed(42)
+        def consumer(sim):
+            val = yield ev
+            return (sim.now, val)
+        sim.process(producer(sim))
+        p = sim.process(consumer(sim))
+        sim.run()
+        assert p.value == (1.0, 42)
+
+    def test_double_trigger_raises(self, sim):
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_fail_propagates_into_process(self, sim):
+        ev = sim.event()
+        class Boom(Exception):
+            pass
+        def consumer(sim):
+            try:
+                yield ev
+            except Boom:
+                return "caught"
+        p = sim.process(consumer(sim))
+        ev.fail(Boom())
+        sim.run()
+        assert p.value == "caught"
+
+    def test_fail_requires_exception(self, sim):
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_value_before_trigger_raises(self, sim):
+        with pytest.raises(SimulationError):
+            _ = sim.event().value
+
+    def test_callback_after_processed_runs_immediately(self, sim):
+        ev = sim.event()
+        ev.succeed("x")
+        sim.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["x"]
+
+
+class TestProcesses:
+    def test_return_value(self, sim):
+        def proc(sim):
+            yield sim.timeout(1)
+            return "result"
+        assert sim.run_process(proc(sim)) == "result"
+
+    def test_process_is_waitable_event(self, sim):
+        def child(sim):
+            yield sim.timeout(2.0)
+            return 7
+        def parent(sim):
+            val = yield sim.process(child(sim))
+            return (sim.now, val)
+        assert sim.run_process(parent(sim)) == (2.0, 7)
+
+    def test_yielding_non_event_fails_process(self, sim):
+        def bad(sim):
+            yield 42
+        p = sim.process(bad(sim))
+        sim.run()
+        assert p.triggered and not p.ok
+
+    def test_exception_in_process_recorded(self, sim):
+        def bad(sim):
+            yield sim.timeout(1)
+            raise ValueError("boom")
+        p = sim.process(bad(sim))
+        sim.run()
+        assert not p.ok
+        with pytest.raises(ValueError):
+            _ = p.value
+
+    def test_deadlock_detected_by_run_process(self, sim):
+        ev = sim.event()  # never triggered
+        def stuck(sim):
+            yield ev
+        with pytest.raises(SimulationError, match="did not finish"):
+            sim.run_process(stuck(sim))
+
+    def test_non_generator_rejected(self, sim):
+        with pytest.raises(TypeError):
+            sim.process(lambda: None)
+
+    def test_max_events_guard(self, sim):
+        def spinner(sim):
+            while True:
+                yield sim.timeout(0.0)
+        sim.process(spinner(sim))
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=100)
+
+
+class TestInterrupts:
+    def test_interrupt_wakes_waiting_process(self, sim):
+        def sleeper(sim):
+            try:
+                yield sim.timeout(100.0)
+                return "slept"
+            except Interrupt as i:
+                return ("interrupted", i.cause, sim.now)
+        p = sim.process(sleeper(sim))
+        def interrupter(sim):
+            yield sim.timeout(1.0)
+            p.interrupt("wakeup")
+        sim.process(interrupter(sim))
+        sim.run()
+        assert p.value == ("interrupted", "wakeup", 1.0)
+
+    def test_interrupt_finished_process_raises(self, sim):
+        def quick(sim):
+            yield sim.timeout(0.1)
+        p = sim.process(quick(sim))
+        sim.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_stale_timeout_ignored_after_interrupt(self, sim):
+        """After an interrupt, the original timeout firing must not resume
+        the process a second time."""
+        log = []
+        def sleeper(sim):
+            try:
+                yield sim.timeout(5.0)
+            except Interrupt:
+                log.append(("int", sim.now))
+            yield sim.timeout(10.0)
+            log.append(("done", sim.now))
+        p = sim.process(sleeper(sim))
+        def interrupter(sim):
+            yield sim.timeout(1.0)
+            p.interrupt()
+        sim.process(interrupter(sim))
+        sim.run()
+        assert log == [("int", 1.0), ("done", 11.0)]
+
+
+class TestConditions:
+    def test_any_of_first_wins(self, sim):
+        def proc(sim):
+            t1, t2 = sim.timeout(5.0, "slow"), sim.timeout(1.0, "fast")
+            result = yield sim.any_of([t1, t2])
+            return (sim.now, list(result.values()))
+        t, vals = sim.run_process(proc(sim))
+        assert t == 1.0 and "fast" in vals
+
+    def test_all_of_waits_for_last(self, sim):
+        def proc(sim):
+            evs = [sim.timeout(d) for d in (1.0, 3.0, 2.0)]
+            yield sim.all_of(evs)
+            return sim.now
+        assert sim.run_process(proc(sim)) == 3.0
+
+    def test_any_of_with_already_triggered(self, sim):
+        ev = sim.event()
+        ev.succeed("pre")
+        sim.run()
+        def proc(sim):
+            res = yield sim.any_of([ev, sim.timeout(9.0)])
+            return (sim.now, res[ev])
+        assert sim.run_process(proc(sim)) == (0.0, "pre")
+
+    def test_empty_all_of_triggers_immediately(self, sim):
+        def proc(sim):
+            yield sim.all_of([])
+            return sim.now
+        assert sim.run_process(proc(sim)) == 0.0
+
+    def test_condition_across_simulators_rejected(self, sim):
+        other = Simulator()
+        with pytest.raises(SimulationError):
+            AnyOf(sim, [other.event()])
+
+
+class TestDeterminism:
+    def test_two_runs_identical(self):
+        def build_and_run():
+            sim = Simulator()
+            trace = []
+            def worker(sim, tag, delays):
+                for d in delays:
+                    yield sim.timeout(d)
+                    trace.append((sim.now, tag))
+            sim.process(worker(sim, "x", [0.5, 1.0, 0.25]))
+            sim.process(worker(sim, "y", [1.0, 0.5, 0.25]))
+            sim.run()
+            return trace
+        assert build_and_run() == build_and_run()

@@ -1,0 +1,128 @@
+"""Tests for the tracing (Fig 4/16 data source) and RNG substreams."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    Activity, Interval, NullTracer, RngRegistry, Simulator, Timeline, Tracer,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestTimeline:
+    def test_begin_end_records_interval(self):
+        tl = Timeline("x")
+        tl.begin(1.0, Activity.COMPUTE, "work")
+        tl.end(3.0)
+        assert tl.intervals == [Interval(1.0, 3.0, Activity.COMPUTE, "work")]
+
+    def test_begin_closes_previous(self):
+        tl = Timeline("x")
+        tl.begin(0.0, Activity.COMPUTE)
+        tl.begin(2.0, Activity.COMMUNICATE)
+        tl.end(5.0)
+        assert [iv.activity for iv in tl.intervals] == [
+            Activity.COMPUTE, Activity.COMMUNICATE]
+        assert tl.intervals[0].end == 2.0
+
+    def test_zero_length_interval_dropped(self):
+        tl = Timeline("x")
+        tl.begin(1.0, Activity.COMPUTE)
+        tl.end(1.0)
+        assert tl.intervals == []
+
+    def test_totals_and_fractions(self):
+        tl = Timeline("x")
+        tl.begin(0.0, Activity.COMPUTE)
+        tl.begin(4.0, Activity.IDLE)
+        tl.end(10.0)
+        assert tl.total(Activity.COMPUTE) == pytest.approx(4.0)
+        assert tl.busy_fraction(Activity.COMPUTE, horizon=10.0) == \
+            pytest.approx(0.4)
+
+    def test_gantt_rows(self):
+        tl = Timeline("x")
+        tl.begin(0.0, Activity.COMPUTE, "a")
+        tl.end(1.0)
+        assert tl.gantt_row() == [(0.0, 1.0, "compute", "a")]
+
+
+class TestTracer:
+    def test_records_against_sim_clock(self, sim):
+        tracer = Tracer(sim)
+        def proc():
+            tracer.begin("cpu", Activity.COMPUTE)
+            yield sim.timeout(2.0)
+            tracer.end("cpu")
+            tracer.point("cpu", "milestone", {"k": 1})
+        sim.run_process(proc())
+        assert tracer.timeline("cpu").total(Activity.COMPUTE) == 2.0
+        assert tracer.points(kind="milestone")[0][0] == 2.0
+
+    def test_utilization_report(self, sim):
+        tracer = Tracer(sim)
+        def proc():
+            tracer.begin("h", Activity.COMPUTE)
+            yield sim.timeout(3.0)
+            tracer.begin("h", Activity.IDLE)
+            yield sim.timeout(1.0)
+            tracer.end("h")
+        sim.run_process(proc())
+        rep = tracer.utilization_report()
+        assert rep["h"]["compute"] == pytest.approx(0.75)
+        assert rep["h"]["idle"] == pytest.approx(0.25)
+
+    def test_null_tracer_records_nothing(self, sim):
+        tracer = NullTracer(sim)
+        tracer.begin("h", Activity.COMPUTE)
+        tracer.point("h", "x")
+        tracer.end("h")
+        assert tracer.timelines == {} or not tracer.timelines.get(
+            "h", Timeline("h")).intervals
+        assert tracer.events == []
+
+    def test_close_all(self, sim):
+        tracer = Tracer(sim)
+        def proc():
+            tracer.begin("a", Activity.COMPUTE)
+            tracer.begin("b", Activity.COMMUNICATE)
+            yield sim.timeout(1.5)
+        sim.run_process(proc())
+        tracer.close_all()
+        assert tracer.timeline("a").total(Activity.COMPUTE) == 1.5
+        assert tracer.timeline("b").total(Activity.COMMUNICATE) == 1.5
+
+
+class TestRngRegistry:
+    def test_same_name_same_stream_object(self):
+        r = RngRegistry(1)
+        assert r.stream("a") is r.stream("a")
+
+    def test_streams_independent_of_creation_order(self):
+        r1 = RngRegistry(42)
+        a_first = r1.stream("a").random(5)
+        r2 = RngRegistry(42)
+        r2.stream("b")          # create b first this time
+        a_second = r2.stream("a").random(5)
+        assert np.allclose(a_first, a_second)
+
+    def test_different_names_differ(self):
+        r = RngRegistry(7)
+        assert not np.allclose(r.stream("x").random(8),
+                               r.stream("y").random(8))
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(1).stream("s").random(8)
+        b = RngRegistry(2).stream("s").random(8)
+        assert not np.allclose(a, b)
+
+    def test_reset(self):
+        r = RngRegistry(3)
+        first = r.stream("z").random(4)
+        r.reset()
+        again = r.stream("z").random(4)
+        assert np.allclose(first, again)
