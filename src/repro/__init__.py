@@ -15,6 +15,8 @@ deterministic discrete-event-simulated system:
   subsystem and the MPS message-passing subsystem with its send /
   receive / flow-control / error-control system threads;
 * :mod:`repro.apps` — the paper's applications (matmul, JPEG, FFT);
+* :mod:`repro.faults` — deterministic fault injection (link outages,
+  BER spikes, host crashes, partitions) for the chaos test suite;
 * :mod:`repro.bench` — the harness regenerating every table and figure.
 
 Quickstart::
@@ -41,7 +43,7 @@ Quickstart::
 
 from .core import NcsNode, NcsRuntime
 from .core.mps import (
-    ANY, ANY_THREAD, NcsMessage, QosContract, ServiceMode,
+    ANY, ANY_THREAD, MessageLost, NcsMessage, QosContract, ServiceMode,
 )
 from .net import (
     Cluster, build_atm_cluster, build_ethernet_cluster, build_nynet,
@@ -54,7 +56,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "NcsNode", "NcsRuntime",
-    "ANY", "ANY_THREAD", "NcsMessage", "QosContract", "ServiceMode",
+    "ANY", "ANY_THREAD", "MessageLost", "NcsMessage", "QosContract",
+    "ServiceMode",
     "Cluster", "build_atm_cluster", "build_ethernet_cluster", "build_nynet",
     "nynet_testbed",
     "P4Process", "P4Runtime",

@@ -111,15 +111,26 @@ def run_matmul_p4(platform: str, n_nodes: int, n: int = 128,
 def run_matmul_ncs(platform: str, n_nodes: int, n: int = 128,
                    threads_per_node: int = 2, seed: int = 7,
                    trace: bool = False, mode: ServiceMode = ServiceMode.P4,
-                   cluster=None, p4_params=None) -> AppResult:
+                   cluster=None, p4_params=None,
+                   flow=None, error=None, error_kwargs=None,
+                   runtime_hook=None) -> AppResult:
     """The Fig 14 program: ``threads_per_node`` compute threads in the
     host process and in every node process; thread *t* of the host
-    converses with thread *t* of each node."""
+    converses with thread *t* of each node.
+
+    ``flow``/``error``/``error_kwargs`` are forwarded to the runtime
+    (the chaos suite runs with ``error='ack'`` so the EC thread carries
+    the computation across injected faults).  ``runtime_hook(rt)``, if
+    given, is called after thread creation and before the run — the
+    seam for arming a :class:`repro.faults.FaultInjector` that needs
+    the runtime.
+    """
     A, B = make_matrices(n, seed)
     costs = platform_costs(platform)
     cluster = cluster or build_platform_cluster(platform, n_nodes + 1,
                                                 trace=trace)
-    rt = NcsRuntime(cluster, mode=mode, p4_params=p4_params)
+    rt = NcsRuntime(cluster, mode=mode, p4_params=p4_params,
+                    flow=flow, error=error, error_kwargs=error_kwargs)
     T = threads_per_node
     slices = _row_slices(n, n_nodes * T)
 
@@ -174,6 +185,8 @@ def run_matmul_ncs(platform: str, n_nodes: int, n: int = 128,
             node_tids[(i, t)] = rt.t_create(
                 i, node_thread, (i, t), name=f"n{i}-t{t}")
 
+    if runtime_hook is not None:
+        runtime_hook(rt)
     makespan = rt.run(max_events=50_000_000)
     correct = bool(np.allclose(C, A @ B))
     return AppResult("matmul", "ncs", platform, n_nodes, makespan, correct,

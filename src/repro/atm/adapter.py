@@ -43,6 +43,7 @@ class AdapterStats:
     pdus_failed: int = 0
     cells_sent: int = 0
     cells_received: int = 0
+    bursts_faulted: int = 0
 
 
 @dataclass
@@ -81,6 +82,11 @@ class Sba200Adapter:
         self.rx_handler: Optional[Callable[..., None]] = None
         #: failed messages (AAL5 CRC): fn(vc, msg_id)
         self.rx_error_handler: Optional[Callable[..., None]] = None
+        #: fault state: a down adapter corrupts everything it reassembles
+        self.up = True
+        #: injected receive filter: ``fn(burst) -> True`` poisons the
+        #: burst's PDU (targeted receive-side loss — see repro.faults)
+        self.rx_fault: Optional[Callable[[CellBurst], bool]] = None
         self.stats = AdapterStats()
         #: per-shaped-VC burst queues (vc_id -> Store), drained by pacers
         self._shapers: dict[int, Store] = {}
@@ -178,8 +184,20 @@ class Sba200Adapter:
                              * self.i960_per_cell_s)
             yield self.sim.timeout(burst.n_cells / pcr_cells_s)
 
+    # ---------------------------------------------------------- fault hooks
+    def fail(self) -> None:
+        """Take the adapter down (host crash): any PDU whose bursts touch
+        the outage reassembles corrupted, exactly like an AAL5 CRC hit."""
+        self.up = False
+
+    def restore(self) -> None:
+        self.up = True
+
     # -------------------------------------------------------------- receive
     def receive_burst(self, burst: CellBurst, channel: Channel) -> None:
+        if not self.up or (self.rx_fault is not None and self.rx_fault(burst)):
+            burst.corrupted = True
+            self.stats.bursts_faulted += 1
         vc = burst.vc
         key = (id(vc), burst.msg_id)
         st = self._rx.get(key)

@@ -13,6 +13,13 @@ Bit errors: with ``ber > 0`` each burst is independently corrupted with
 probability ``1-(1-ber)^bits``; corruption marks the burst so AAL5
 reassembly fails the whole PDU at the receiver — the error-control
 machinery (TCP or the NCS error-control thread) then recovers.
+
+Fault hooks (driven by :mod:`repro.faults`): a channel can be taken
+*down* (every burst it carries is marked corrupted, so no PDU survives
+the outage — which keeps reassembly state consistent even when an
+outage starts or ends mid-PDU), given a transient BER override, or
+*stalled* (the drain process pauses, modelling a wedged switch port;
+upstream queues grow until the port is released).
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ from typing import Optional, Protocol
 
 import numpy as np
 
-from ..sim import Simulator, Store
+from ..sim import Event, Simulator, Store
 from .cell import CellBurst
 
 __all__ = ["LinkSpec", "Channel", "DuplexLink",
@@ -81,15 +88,48 @@ class Channel:
         self._q: Store = Store(sim, name=f"chan:{name}")
         self.queued_cells = 0
         self.busy_until = 0.0
+        #: fault state (see module docstring)
+        self.up = True
+        self.ber_override: Optional[float] = None
+        self._stalled = False
+        self._stall_release: Optional[Event] = None
         #: counters
         self.bursts_carried = 0
         self.bursts_corrupted = 0
+        self.bursts_faulted = 0
         sim.process(self._drain(), name=f"chan:{name}")
 
     def connect(self, endpoint: BurstSink) -> None:
         if self.endpoint is not None:
             raise ValueError(f"channel {self.name} already connected")
         self.endpoint = endpoint
+
+    # ---------------------------------------------------------- fault hooks
+    def fail(self) -> None:
+        """Take the channel down: every burst in flight or sent during the
+        outage arrives corrupted (AAL5 reassembly then kills its PDU)."""
+        self.up = False
+
+    def restore(self) -> None:
+        self.up = True
+
+    @property
+    def effective_ber(self) -> float:
+        return self.spec.ber if self.ber_override is None else self.ber_override
+
+    def stall(self) -> None:
+        """Freeze the drain process (a wedged output port): queued bursts
+        stop moving until :meth:`unstall`; upstream buffers back up."""
+        if not self._stalled:
+            self._stalled = True
+            self._stall_release = Event(self.sim, name=f"unstall:{self.name}")
+
+    def unstall(self) -> None:
+        if self._stalled:
+            self._stalled = False
+            release, self._stall_release = self._stall_release, None
+            assert release is not None
+            release.succeed(None)
 
     # --------------------------------------------------------------- sending
     def tx_time(self, burst: CellBurst) -> float:
@@ -107,16 +147,23 @@ class Channel:
     def _drain(self):
         while True:
             burst, extra = yield self._q.get()
+            while self._stalled:
+                yield self._stall_release
             service = max(self.tx_time(burst), extra)
             yield self.sim.timeout(service)
             self.queued_cells -= burst.n_cells
             self.busy_until = self.sim.now
-            if self.spec.ber > 0.0 and self._rng is not None:
-                bits = burst.wire_bytes * 8
-                p_bad = 1.0 - (1.0 - self.spec.ber) ** bits
-                if self._rng.random() < p_bad:
-                    burst.corrupted = True
-                    self.bursts_corrupted += 1
+            if not self.up:
+                burst.corrupted = True
+                self.bursts_faulted += 1
+            else:
+                ber = self.effective_ber
+                if ber > 0.0 and self._rng is not None:
+                    bits = burst.wire_bytes * 8
+                    p_bad = 1.0 - (1.0 - ber) ** bits
+                    if self._rng.random() < p_bad:
+                        burst.corrupted = True
+                        self.bursts_corrupted += 1
             self.bursts_carried += 1
             self.sim.process(self._deliver_later(burst),
                              name=f"chan-deliver:{self.name}")
@@ -140,3 +187,12 @@ class DuplexLink:
 
     def channels(self) -> tuple[Channel, Channel]:
         return self.fwd, self.rev
+
+    def fail(self) -> None:
+        """Cut the fiber: both directions go down."""
+        self.fwd.fail()
+        self.rev.fail()
+
+    def restore(self) -> None:
+        self.fwd.restore()
+        self.rev.restore()

@@ -44,10 +44,32 @@ class AtmSwitch:
         self.switching_latency_s = switching_latency_s
         self.output_buffer_cells = output_buffer_cells
         self._table: dict[tuple[int, int], VcRoute] = {}
+        #: fault state: a failed switch discards everything it receives
+        self.up = True
         #: counters
         self.bursts_forwarded = 0
         self.bursts_dropped = 0
         self.bursts_unroutable = 0
+        self.bursts_faulted = 0
+
+    # ---------------------------------------------------------- fault hooks
+    def fail(self) -> None:
+        """Power-fail the whole switch: every arriving burst is discarded
+        (its PDU is lost; error control above recovers or gives up)."""
+        self.up = False
+
+    def restore(self) -> None:
+        self.up = True
+
+    def stall_port(self, out_channel: Channel) -> None:
+        """Wedge one output port: cells queue on ``out_channel`` without
+        draining, so sustained traffic overflows this port's buffer and
+        is dropped — the paper-era FORE failure mode of a stuck TAXI
+        transmitter."""
+        out_channel.stall()
+
+    def unstall_port(self, out_channel: Channel) -> None:
+        out_channel.unstall()
 
     # ------------------------------------------------------------- VC table
     def program(self, in_channel: Channel, in_vci: int,
@@ -73,6 +95,9 @@ class AtmSwitch:
 
     # ------------------------------------------------------------ forwarding
     def receive_burst(self, burst: CellBurst, channel: Channel) -> None:
+        if not self.up:
+            self.bursts_faulted += 1
+            return
         try:
             route = self.lookup(channel, burst.vci)
         except KeyError:

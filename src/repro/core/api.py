@@ -30,7 +30,7 @@ from ..p4.api import P4Params
 from ..sim import SimProcess, SimulationError
 from .mts.scheduler import DEFAULT_PRIORITY, MtsScheduler
 from .mps.core import NcsMps
-from .mps.error_control import ErrorControl, make_error_control
+from .mps.error_control import ErrorControl, MessageLost, make_error_control
 from .mps.flow_control import FlowControl, make_flow_control
 from .mps.qos import QosContract, ServiceMode, flow_control_for
 from .mps.transports import AtmTransport, NcsTransport, P4Transport, SocketTransport
@@ -138,7 +138,8 @@ class NcsRuntime:
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None,
-            raise_thread_errors: bool = True) -> float:
+            raise_thread_errors: bool = True,
+            raise_message_lost: bool = True) -> float:
         """Start (if needed), run the simulation, return the makespan.
 
         The makespan is the time the last scheduler finished — i.e. the
@@ -147,6 +148,13 @@ class NcsRuntime:
         may run slightly longer while protocol timers — delayed ACKs,
         retransmission timeouts — drain; that tail is not application
         time and is excluded.)
+
+        With ``raise_message_lost`` (the default), a message that error
+        control permanently gave up on raises :class:`MessageLost` here —
+        checked *before* the deadlock diagnostic, because the lost
+        message is usually why peers are still waiting.  Pass False to
+        inspect ``node.mps.lost_messages`` yourself (e.g. chaos sweeps
+        that tolerate partitions).
         """
         if not self._started:
             self.start()
@@ -158,6 +166,15 @@ class NcsRuntime:
         for proc in self._procs:
             if proc.triggered and not proc.ok:
                 _ = proc.value   # re-raise the scheduler's own failure
+        if raise_message_lost:
+            lost = [m for node in self.nodes
+                    for m in node.mps.lost_messages]
+            if lost:
+                m = lost[0]
+                raise MessageLost(
+                    f"{len(lost)} message(s) permanently lost (first: "
+                    f"{m.kind.value} {m.msg_uid} from process "
+                    f"{m.from_process} to process {m.to_process})")
         unfinished = [p for p in self._procs if not p.triggered]
         if unfinished and until is None:
             names = ", ".join(p.name for p in unfinished)

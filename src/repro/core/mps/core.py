@@ -30,18 +30,27 @@ from ...sim import Activity, Event, Mailbox
 from ..mts import ops
 from ..mts.scheduler import MtsScheduler, SYSTEM_PRIORITY
 from ..mts.thread import NcsThread
-from .error_control import ErrorControl, NoErrorControl
+from .error_control import ErrorControl, MessageLost, NoErrorControl
 from .exceptions import RecvTimeout, RemoteException
 from .flow_control import FlowControl, NoFlowControl
 from .message import ANY_THREAD, ControlKind, NcsMessage
 from .transports import LOCAL_COPY_ACCESSES, NcsTransport
 
-__all__ = ["NcsMps", "SendRequest", "RecvRequest"]
+__all__ = ["NcsMps", "SendRequest", "RecvRequest", "RELIABLE_KINDS"]
 
 #: pid of the barrier coordinator
 BARRIER_COORDINATOR = 0
 #: nominal wire size of MPS control messages
 CONTROL_BYTES = 8
+
+#: message kinds the EC thread tracks (acked, deduplicated and
+#: retransmitted).  ACK/NACK are excluded: acking acks never converges —
+#: a lost ACK is recovered by the duplicate-suppressed retransmission it
+#: provokes.
+RELIABLE_KINDS = frozenset({
+    ControlKind.DATA, ControlKind.BARRIER_ARRIVE,
+    ControlKind.BARRIER_RELEASE, ControlKind.CREDIT, ControlKind.THROW,
+})
 
 
 @dataclass
@@ -88,8 +97,12 @@ class NcsMps:
         self._recv_signal: Optional[Event] = None
         self._send_inflight = 0
         self._msg_seq = 0
-        #: remote exceptions waiting for a thread's next recv
-        self._poison: dict[int, RemoteException] = {}
+        #: injected arrival filter (repro.faults): ``fn(msg) -> True``
+        #: discards an inter-process message as if the network lost it
+        self.rx_fault: Optional[Callable[[NcsMessage], bool]] = None
+        #: exceptions (remote throws, lost-message reports) waiting for a
+        #: thread's next recv
+        self._poison: dict[int, BaseException] = {}
         # barrier service state (only used on the coordinator)
         self.barrier_parties: dict[int, int] = {}
         self._barrier_arrived: dict[int, list[tuple[int, int]]] = {}
@@ -99,6 +112,7 @@ class NcsMps:
         # statistics
         self.data_sent = 0
         self.data_received = 0
+        self.messages_faulted = 0
         # wire up
         transport.set_delivery_handler(self._on_arrival)
         self.send_tid = scheduler.t_create(
@@ -246,7 +260,31 @@ class NcsMps:
         return False
 
     # -------------------------------------------------------------- sending
+    @property
+    def _shut_down(self) -> bool:
+        """True once this process's scheduler (and with it the send
+        system thread) has exited."""
+        proc = self.scheduler._proc
+        return proc is not None and proc.triggered
+
     def _enqueue_send(self, req: SendRequest) -> None:
+        if self._shut_down:
+            # The send thread will never run again, but the transport
+            # still works: service the request from the interrupt path.
+            # This is what keeps a process acking retransmissions that
+            # arrive after its application threads finished — without
+            # it, a sender whose ACKs were lost near the end of the run
+            # would spuriously declare the message lost.
+            msg = req.msg
+            if msg.to_process == self.pid:
+                self._on_arrival(msg)
+            else:
+                self.transport.start_send(msg)
+                if self.ec.wants_acks and msg.kind in RELIABLE_KINDS:
+                    self.ec.on_sent(msg)
+            if req.notify is not None:
+                req.notify()
+            return
         self.send_q.append(req)
         if self._send_signal is not None and not self._send_signal.triggered:
             self._send_signal.succeed(None)
@@ -260,8 +298,34 @@ class NcsMps:
             msg_uid=self._next_uid())))
 
     def on_message_lost(self, msg: NcsMessage) -> None:
-        """Error control exhausted its retries."""
+        """Error control exhausted its retries: the message is permanently
+        lost.  Record it, trace it, and surface :class:`MessageLost` to
+        the thread that originated the message — failing its pending
+        receive or barrier wait immediately, else poisoning its next
+        receive — so applications see a clean exception instead of a
+        silent hang.  (``NcsRuntime.run`` additionally re-raises at the
+        end of the run; see ``raise_message_lost``.)"""
         self.lost_messages.append(msg)
+        self.host.tracer.point(f"ncs:{self.pid}", "message-lost",
+                               (msg.kind.value, msg.msg_uid))
+        exc = MessageLost(
+            f"{msg.kind.value} message {msg.msg_uid} from thread "
+            f"{msg.from_thread} on process {self.pid} to process "
+            f"{msg.to_process} was lost after retransmission gave up")
+        tid = msg.from_thread
+        thread = self.scheduler.threads.get(tid)
+        if thread is None or not thread.alive or thread.is_system:
+            return
+        for i, req in enumerate(self.recv_reqs):
+            if req.thread.tid == tid:
+                del self.recv_reqs[i]
+                self.scheduler.wake_from_op(tid, exc=exc)
+                return
+        if (msg.kind is ControlKind.BARRIER_ARRIVE
+                and self._barrier_blocked.pop(tid, None) is not None):
+            self.scheduler.wake_from_op(tid, exc=exc)
+            return
+        self._poison.setdefault(tid, exc)
 
     def _send_body(self, ctx):
         """The send system thread (Fig 8)."""
@@ -290,7 +354,7 @@ class NcsMps:
                 else:
                     accepted = self.transport.start_send(msg)
                     yield ops.WaitEvent(accepted)
-                    if self.ec.wants_acks and msg.kind is ControlKind.DATA:
+                    if self.ec.wants_acks and msg.kind in RELIABLE_KINDS:
                         self.ec.on_sent(msg)
                 if req.notify is not None:
                     req.notify()
@@ -304,18 +368,28 @@ class NcsMps:
 
     def _on_arrival(self, msg: NcsMessage) -> None:
         """Transport delivery (no CPU charged here; pumps are free)."""
+        if msg.from_process != self.pid:
+            if self.rx_fault is not None and self.rx_fault(msg):
+                # injected network loss: the message simply never arrives
+                # (error control, if armed, will retransmit it)
+                self.messages_faulted += 1
+                self.host.tracer.point(f"ncs:{self.pid}", "rx-fault",
+                                       (msg.kind.value, msg.msg_uid))
+                return
+            if self.ec.wants_acks and msg.kind in RELIABLE_KINDS:
+                # ack + dedup every tracked kind, DATA and control alike —
+                # a retransmitted barrier arrival must not count twice
+                dup = self.ec.is_duplicate(msg)
+                self._enqueue_send(SendRequest(NcsMessage(
+                    from_thread=ANY_THREAD, from_process=self.pid,
+                    to_thread=ANY_THREAD, to_process=msg.from_process,
+                    data=msg.msg_uid, size=CONTROL_BYTES,
+                    kind=ControlKind.ACK, msg_uid=self._next_uid())))
+                if dup:
+                    return
         if msg.kind is not ControlKind.DATA:
             self._handle_control(msg)
             return
-        if self.ec.wants_acks and msg.from_process != self.pid:
-            dup = self.ec.is_duplicate(msg)
-            self._enqueue_send(SendRequest(NcsMessage(
-                from_thread=ANY_THREAD, from_process=self.pid,
-                to_thread=ANY_THREAD, to_process=msg.from_process,
-                data=msg.msg_uid, size=CONTROL_BYTES, kind=ControlKind.ACK,
-                msg_uid=self._next_uid())))
-            if dup:
-                return
         self.mailbox.deliver(msg)
 
     def _handle_control(self, msg: NcsMessage) -> None:

@@ -5,12 +5,24 @@ and error control provided by p4" (§4.1).  Approach 2 runs on raw AAL5,
 where a corrupted cell kills a whole PDU with no recovery below NCS —
 so the EC thread implements message-level positive-ack retransmission:
 
-* the sender's EC thread keeps a copy of every un-acked data message and
+* the sender's EC thread keeps a copy of every un-acked message and
   retransmits after ``timeout_s`` (doubling, up to ``max_retries``);
-* the receiver's MPS acks each data message as it is delivered and
+* the receiver's MPS acks each tracked message as it is delivered and
   deduplicates retransmitted copies by ``msg_uid``;
 * an AAL5 CRC failure reported by the adapter triggers an immediate NACK
   so recovery does not wait for the timer.
+
+Coverage extends beyond application DATA to the MPS control messages
+that carry collective state (barrier arrive/release, credits, remote
+throws — :data:`repro.core.mps.core.RELIABLE_KINDS`), so barriers and
+broadcasts survive transient faults too; only ACK/NACK themselves are
+fire-and-forget (acking acks would never converge — a lost ACK is
+recovered by the duplicate-suppressed retransmission it provokes).
+
+When retries are exhausted the message is declared permanently lost:
+the MPS surfaces :class:`MessageLost` to the originating thread and
+:meth:`repro.core.api.NcsRuntime.run` re-raises it, so a partitioned
+application fails loudly instead of hanging.
 """
 
 from __future__ import annotations
@@ -147,12 +159,16 @@ class AckRetransmitErrorControl(ErrorControl):
         if retries >= self.max_retries:
             self.gave_up += 1
             del self._unacked[uid]
+            self.mps.host.tracer.point(
+                f"ec:{self.mps.pid}", "gave-up", uid)
             self.mps.on_message_lost(msg)
             return
         entry[2] += 1
         backoff = self.timeout_s * (2 ** entry[2])
         entry[1] = self.sim.now + backoff
         self.retransmissions += 1
+        self.mps.host.tracer.point(
+            f"ec:{self.mps.pid}", "retransmit", uid)
         accepted = self.mps.transport.start_send(msg)
         yield ops.WaitEvent(accepted)
 

@@ -42,12 +42,39 @@ class EthernetLan:
         self.bandwidth_bps = bandwidth_bps
         self.prop_delay_s = prop_delay_s
         self.collisions = collisions
-        self._rng = (rngs or RngRegistry()).stream("ethernet.backoff")
+        rngs = rngs or RngRegistry()
+        self._rng = rngs.stream("ethernet.backoff")
+        self._fault_rng = rngs.stream("ethernet.faults")
         self.medium = Resource(sim, capacity=1, name="ether-medium")
         self.nics: dict[str, "EthernetNic"] = {}
+        #: fault state: segment outage / transient BER (frames are lost
+        #: whole — TCP above retransmits, as it would on real coax)
+        self.up = True
+        self.fault_ber = 0.0
         #: counters for tests/benchmarks
         self.frames_delivered = 0
+        self.frames_dropped = 0
         self.collision_events = 0
+
+    # ---------------------------------------------------------- fault hooks
+    def fail(self) -> None:
+        """Sever the segment: frames in flight and frames sent during the
+        outage are lost."""
+        self.up = False
+
+    def restore(self) -> None:
+        self.up = True
+
+    def set_fault_ber(self, ber: float) -> None:
+        """A noisy segment: each frame is independently dropped with
+        probability ``1-(1-ber)^bits`` (drawn from a dedicated RNG stream
+        so enabling faults never perturbs the backoff draws)."""
+        if not (0.0 <= ber < 1.0):
+            raise ValueError("bit error rate must be in [0, 1)")
+        self.fault_ber = ber
+
+    def clear_fault_ber(self) -> None:
+        self.fault_ber = 0.0
 
     # -------------------------------------------------------------- topology
     def attach(self, nic: "EthernetNic") -> None:
@@ -98,8 +125,21 @@ class EthernetLan:
 
     def _deliver_later(self, frame: EthernetFrame):
         yield self.sim.timeout(self.prop_delay_s)
+        nic = self.nics[frame.dst]
+        if not self.up or not nic.up:
+            self.frames_dropped += 1
+            return
+        if self.fault_ber > 0.0:
+            bits = frame.wire_bytes * 8
+            p_bad = 1.0 - (1.0 - self.fault_ber) ** bits
+            if self._fault_rng.random() < p_bad:
+                self.frames_dropped += 1
+                return
+        if nic.rx_fault is not None and nic.rx_fault(frame):
+            self.frames_dropped += 1
+            return
         self.frames_delivered += 1
-        self.nics[frame.dst]._receive(frame)
+        nic._receive(frame)
 
 
 class EthernetNic:
@@ -117,11 +157,23 @@ class EthernetNic:
         self._txq: Store = Store(sim, name=f"ethertx:{address}")
         self._rx_handler: Optional[Callable[[EthernetFrame], None]] = None
         self._seq = 0
+        #: fault state: a down NIC is deaf and mute (host crash / cable pull)
+        self.up = True
+        #: injected receive filter: ``fn(frame) -> True`` drops the frame
+        #: (targeted receive-side loss — see repro.faults)
+        self.rx_fault: Optional[Callable[[EthernetFrame], bool]] = None
         lan.attach(self)
         sim.process(self._drain(), name=f"ethernic:{address}")
         #: counters
         self.frames_sent = 0
         self.frames_received = 0
+
+    # ---------------------------------------------------------- fault hooks
+    def fail(self) -> None:
+        self.up = False
+
+    def restore(self) -> None:
+        self.up = True
 
     @property
     def tx_queue_len(self) -> int:
@@ -144,6 +196,10 @@ class EthernetNic:
     def _drain(self):
         while True:
             frame = yield self._txq.get()
+            if not self.up:
+                # a crashed host's queued frames never make the wire
+                self.lan.frames_dropped += 1
+                continue
             yield from self.lan.transmit(frame)
             self.frames_sent += 1
 

@@ -1,0 +1,240 @@
+"""The fault injector: arms a :class:`~repro.faults.plan.FaultPlan`
+against a built cluster.
+
+The injector schedules every event's begin (and, for transient faults,
+its heal) on the simulation calendar via ``sim.call_at``, flips the
+fault hooks the network/host layers expose (``Channel.fail``,
+``Host.freeze``, ``AtmSwitch.stall_port``, ``NcsMps.rx_fault``, ...),
+and records what it did in three places:
+
+* ``injector.log`` — a deterministic ``(t, edge, description)`` list;
+* the cluster tracer — one ``Activity.FAULT`` interval per event (entity
+  ``fault:<index>``), so fault windows land on the same timelines as
+  the compute/communicate intervals of Fig 16;
+* the layers' own counters (``bursts_faulted``, ``frames_dropped``,
+  ``messages_faulted``) keep counting as usual.
+
+Message-level faults (:class:`Partition`, :class:`MessageLoss`) filter
+at the NCS arrival point and therefore need the :class:`NcsRuntime`;
+physical faults work on a bare cluster.  All randomness comes from
+dedicated per-process streams of the cluster's seeded registry
+(``faults.msgloss.<pid>``), so arming a plan never perturbs any other
+draw — the foundation of the bit-identical-trace guarantee.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Optional
+
+from ..atm.link import DuplexLink
+from ..net.topology import Cluster
+from ..sim import Activity, Tracer
+from .plan import (
+    BerSpike, FaultEvent, FaultPlan, HostCrash, LinkOutage, MessageLoss,
+    Partition, SwitchPortStall,
+)
+
+__all__ = ["FaultInjector", "trace_signature"]
+
+
+class FaultInjector:
+    """Arms a fault plan against one cluster (and optionally a runtime)."""
+
+    def __init__(self, cluster: Cluster, plan: FaultPlan,
+                 runtime: Optional[Any] = None):
+        self.cluster = cluster
+        self.plan = plan
+        self.runtime = runtime
+        self.sim = cluster.sim
+        self.tracer = cluster.tracer
+        #: deterministic injection log: (time, "begin"|"end", description)
+        self.log: list[tuple[float, str, str]] = []
+        #: currently active partitions (each a tuple of groups)
+        self._partitions: list[tuple[tuple[int, ...], ...]] = []
+        #: currently active message-loss events
+        self._msgloss: list[MessageLoss] = []
+        self._armed = False
+
+    # ------------------------------------------------------------------ arm
+    def arm(self) -> "FaultInjector":
+        """Validate the plan and put every event on the calendar."""
+        if self._armed:
+            raise RuntimeError("fault plan already armed")
+        needs_runtime = any(isinstance(e, (Partition, MessageLoss))
+                            for e in self.plan)
+        if needs_runtime and self.runtime is None:
+            raise ValueError(
+                "this plan contains message-level faults (Partition/"
+                "MessageLoss); pass the NcsRuntime to FaultInjector")
+        for ev in self.plan:
+            self._validate(ev)
+        if needs_runtime:
+            self._install_mps_filters()
+        for i, ev in enumerate(self.plan):
+            self.sim.call_at(ev.at, lambda ev=ev, i=i: self._begin(ev, i))
+            if ev.ends_at is not None:
+                self.sim.call_at(ev.ends_at,
+                                 lambda ev=ev, i=i: self._end(ev, i))
+        self._armed = True
+        return self
+
+    def _validate(self, ev: FaultEvent) -> None:
+        n = self.cluster.n_hosts
+        host = getattr(ev, "host", None)
+        if host is not None and not (0 <= host < n):
+            raise ValueError(f"{ev.describe()}: no such host {host}")
+        if isinstance(ev, Partition):
+            for g in ev.groups:
+                for pid in g:
+                    if not (0 <= pid < n):
+                        raise ValueError(
+                            f"{ev.describe()}: no such process {pid}")
+        if isinstance(ev, MessageLoss) and ev.pids is not None:
+            for pid in ev.pids:
+                if not (0 <= pid < n):
+                    raise ValueError(f"{ev.describe()}: no such process {pid}")
+        if isinstance(ev, SwitchPortStall) and self.cluster.fabric is None:
+            raise ValueError("switch-port stalls need an ATM cluster")
+
+    # ------------------------------------------------------- event dispatch
+    def _record(self, edge: str, ev: FaultEvent, index: int) -> None:
+        self.log.append((self.sim.now, edge, ev.describe()))
+        entity = f"fault:{index}"
+        if edge == "begin":
+            self.tracer.begin(entity, Activity.FAULT, ev.describe())
+        else:
+            self.tracer.end(entity)
+
+    def _begin(self, ev: FaultEvent, index: int) -> None:
+        self._record("begin", ev, index)
+        if isinstance(ev, LinkOutage):
+            self._for_links(ev.host, lambda link: link.fail())
+            nic = self._nic(ev.host)
+            if nic is not None:
+                nic.fail()
+        elif isinstance(ev, BerSpike):
+            if self.cluster.fabric is not None:
+                def spike(link, ber=ev.ber):
+                    link.fwd.ber_override = ber
+                    link.rev.ber_override = ber
+                self._for_links(ev.host, spike)
+            if self.cluster.lan is not None:
+                self.cluster.lan.set_fault_ber(ev.ber)
+        elif isinstance(ev, HostCrash):
+            host = self.cluster.host(ev.host)
+            host.freeze()
+            for iface in host.interfaces.values():
+                iface.fail()
+        elif isinstance(ev, SwitchPortStall):
+            switch, channel = self._switch_port(ev.host)
+            switch.stall_port(channel)
+        elif isinstance(ev, Partition):
+            self._partitions.append(ev.groups)
+        elif isinstance(ev, MessageLoss):
+            self._msgloss.append(ev)
+        else:  # pragma: no cover - plan types are closed
+            raise TypeError(f"unknown fault event {ev!r}")
+
+    def _end(self, ev: FaultEvent, index: int) -> None:
+        self._record("end", ev, index)
+        if isinstance(ev, LinkOutage):
+            self._for_links(ev.host, lambda link: link.restore())
+            nic = self._nic(ev.host)
+            if nic is not None:
+                nic.restore()
+        elif isinstance(ev, BerSpike):
+            if self.cluster.fabric is not None:
+                def clear(link):
+                    link.fwd.ber_override = None
+                    link.rev.ber_override = None
+                self._for_links(ev.host, clear)
+            if self.cluster.lan is not None:
+                self.cluster.lan.clear_fault_ber()
+        elif isinstance(ev, HostCrash):
+            host = self.cluster.host(ev.host)
+            for iface in host.interfaces.values():
+                iface.restore()
+            host.unfreeze()
+        elif isinstance(ev, SwitchPortStall):
+            switch, channel = self._switch_port(ev.host)
+            switch.unstall_port(channel)
+        elif isinstance(ev, Partition):
+            self._partitions.remove(ev.groups)
+        elif isinstance(ev, MessageLoss):
+            self._msgloss.remove(ev)
+
+    # -------------------------------------------------------- fabric lookup
+    def _for_links(self, host_idx: int, fn) -> None:
+        """Apply ``fn`` to every duplex link attached to the host's ATM
+        adapter (on the star topology, exactly the host↔switch TAXI)."""
+        fabric = self.cluster.fabric
+        if fabric is None:
+            return
+        adapter = fabric.adapters[self.cluster.host(host_idx).name]
+        for _, _, data in fabric.graph.edges(adapter, data=True):
+            link: DuplexLink = data["link"]
+            fn(link)
+
+    def _nic(self, host_idx: int):
+        return self.cluster.host(host_idx).interfaces.get("ethernet")
+
+    def _switch_port(self, host_idx: int):
+        """The switch output channel feeding ``host`` (endpoint = its
+        adapter)."""
+        fabric = self.cluster.fabric
+        assert fabric is not None
+        adapter = fabric.adapters[self.cluster.host(host_idx).name]
+        for _, other, data in fabric.graph.edges(adapter, data=True):
+            link: DuplexLink = data["link"]
+            for channel in (link.fwd, link.rev):
+                if channel.endpoint is adapter:
+                    return other, channel
+        raise ValueError(f"host {host_idx} has no switch uplink")
+
+    # -------------------------------------------------- message-level hooks
+    def _install_mps_filters(self) -> None:
+        for node in self.runtime.nodes:
+            if node.mps.rx_fault is not None:
+                raise RuntimeError(
+                    f"process {node.pid} already has an rx_fault filter")
+            rng = self.cluster.rngs.stream(f"faults.msgloss.{node.pid}")
+            node.mps.rx_fault = self._make_filter(node.pid, rng)
+
+    def _make_filter(self, pid: int, rng):
+        def rx_fault(msg) -> bool:
+            if self._blocked(msg.from_process, pid):
+                return True
+            for ev in self._msgloss:
+                if ((ev.pids is None or pid in ev.pids)
+                        and rng.random() < ev.p):
+                    return True
+            return False
+        return rx_fault
+
+    def _blocked(self, src: int, dst: int) -> bool:
+        """True while an active partition separates the two processes."""
+        for groups in self._partitions:
+            src_g = next((g for g in groups if src in g), None)
+            dst_g = next((g for g in groups if dst in g), None)
+            if src_g is not None and dst_g is not None and src_g is not dst_g:
+                return True
+        return False
+
+
+def trace_signature(tracer: Tracer) -> str:
+    """A stable digest of everything a run's tracer recorded.
+
+    Two runs with the same seed, plan and workload must produce the
+    same signature — the chaos suite's bit-identical-trace assertion.
+    Intervals still open (an unhealed permanent fault) are hashed as
+    open, so closing order cannot mask a divergence.
+    """
+    h = hashlib.sha256()
+    for t, entity, kind, payload in tracer.events:
+        h.update(repr((t, entity, kind, payload)).encode())
+    for name in sorted(tracer.timelines):
+        tl = tracer.timelines[name]
+        h.update(repr((name, tl.gantt_row(),
+                       tl._open_start, tl._open_activity)).encode())
+    return h.hexdigest()

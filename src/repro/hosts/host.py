@@ -42,6 +42,32 @@ class Host:
         #: timers) can preempt long application computations, as it does
         #: on a real timesharing kernel.  None disables preemption.
         self.compute_quantum: Optional[float] = 1e-3
+        #: fault state: a frozen host consumes no CPU (crash/restart model)
+        self._frozen = False
+        self._thaw: Optional[Event] = None
+
+    # ------------------------------------------------------------ fault hooks
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Crash the host: every CPU consumer stalls at its next quantum
+        boundary until :meth:`unfreeze`.  Thread and process state is
+        preserved across the outage — the fail-stop-with-recovery model
+        the chaos suite uses for host crash/restart scenarios (the
+        network interfaces are faulted separately by the injector)."""
+        if not self._frozen:
+            self._frozen = True
+            self._thaw = Event(self.sim, name=f"thaw:{self.name}")
+
+    def unfreeze(self) -> None:
+        """Restart the host: stalled CPU consumers resume where they were."""
+        if self._frozen:
+            self._frozen = False
+            thaw, self._thaw = self._thaw, None
+            assert thaw is not None
+            thaw.succeed(None)
 
     # -------------------------------------------------------------- CPU time
     def cpu_busy(self, seconds: float, activity: Activity = Activity.COMPUTE,
@@ -62,6 +88,8 @@ class Host:
                    if activity is Activity.COMPUTE else None)
         remaining = seconds
         while remaining > 0:
+            while self._frozen:
+                yield self._thaw
             slice_s = remaining if quantum is None else min(quantum, remaining)
             yield self.cpu_res.request()
             self.tracer.begin(self.name, activity, label)

@@ -379,6 +379,25 @@ class Simulator:
         """Register a coroutine as a simulated process."""
         return SimProcess(self, gen, name=name)
 
+    def call_in(self, delay: float, fn: Callable[[], Any]) -> Timeout:
+        """Run ``fn()`` after ``delay`` simulated seconds.
+
+        The callback hook the fault-injection machinery builds on: unlike
+        a process, a call carries no generator overhead and cannot block,
+        which keeps scheduled state flips (link down/up, host crash)
+        strictly ordered and deterministic.
+        """
+        ev = Timeout(self, delay)
+        ev.add_callback(lambda _ev: fn())
+        return ev
+
+    def call_at(self, when: float, fn: Callable[[], Any]) -> Timeout:
+        """Run ``fn()`` at absolute simulated time ``when`` (>= now)."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule a call at t={when:.9g} < now={self._now:.9g}")
+        return self.call_in(when - self._now, fn)
+
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 

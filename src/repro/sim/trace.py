@@ -25,6 +25,7 @@ class Activity(str, enum.Enum):
     COMMUNICATE = "communicate"
     IDLE = "idle"
     OVERHEAD = "overhead"  # context switches, thread maintenance
+    FAULT = "fault"        # injected outage windows (links, hosts, partitions)
 
 
 @dataclass(frozen=True)

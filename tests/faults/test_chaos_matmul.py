@@ -1,0 +1,58 @@
+"""Acceptance scenarios: a real application (distributed matmul, Fig 14)
+under faults — recovery with correct results, or a clean MessageLost."""
+
+import pytest
+
+from repro import MessageLost, ServiceMode, build_atm_cluster
+from repro.apps.matmul import run_matmul_ncs
+from repro.faults import FaultInjector, FaultPlan, LinkOutage, Partition
+
+from .util import FAST_EC
+
+
+class TestTransientOutage:
+    def test_hsm_matmul_survives_link_outage(self):
+        # one node's TAXI link goes dark during the initial B/A
+        # distribution; error control carries the exchange across and
+        # the product is still correct — at a makespan cost
+        baseline = run_matmul_ncs(
+            "atm", n_nodes=2, n=32, threads_per_node=1,
+            mode=ServiceMode.HSM, cluster=build_atm_cluster(3),
+            error="ack")
+        assert baseline.correct
+
+        cluster = build_atm_cluster(3, trace=True)
+        injector = FaultInjector(cluster, FaultPlan(
+            (LinkOutage(at=0.002, duration=0.05, host=1),)))
+        injector.arm()
+        res = run_matmul_ncs("atm", n_nodes=2, n=32, threads_per_node=1,
+                             mode=ServiceMode.HSM, cluster=cluster,
+                             error="ack")
+        assert res.correct
+        assert res.makespan_s > baseline.makespan_s   # retransmission cost
+        # the outage was actually felt on the wire
+        faulted = sum(
+            ch.bursts_faulted
+            for _, _, d in cluster.fabric.graph.edges(data=True)
+            for ch in (d["link"].fwd, d["link"].rev))
+        assert faulted > 0
+        assert [edge for _, edge, _ in injector.log] == ["begin", "end"]
+
+
+class TestPermanentPartition:
+    def test_partition_raises_message_lost_not_hang(self):
+        # the host is cut off from both nodes forever: the run must fail
+        # loudly with MessageLost once retransmission gives up
+        cluster = build_atm_cluster(3, trace=True)
+        plan = FaultPlan((Partition(at=0.001, groups=((0,), (1, 2))),))
+
+        def arm(rt):
+            FaultInjector(cluster, plan, runtime=rt).arm()
+
+        with pytest.raises(MessageLost):
+            run_matmul_ncs("atm", n_nodes=2, n=16, threads_per_node=1,
+                           mode=ServiceMode.HSM, cluster=cluster,
+                           error="ack", error_kwargs=dict(FAST_EC),
+                           runtime_hook=arm)
+        # the give-up is on the tracer timeline for post-mortems
+        assert cluster.tracer.points(kind="message-lost")

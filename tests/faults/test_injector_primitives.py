@@ -1,0 +1,160 @@
+"""Each fault primitive, armed against a live cluster, one at a time."""
+
+import pytest
+
+from repro import NcsRuntime, ServiceMode, build_ethernet_cluster
+from repro.faults import (
+    BerSpike, FaultInjector, FaultPlan, HostCrash, LinkOutage, MessageLoss,
+    Partition, SwitchPortStall,
+)
+from repro.sim import Activity
+
+from .util import add_pingpong, make_runtime
+
+
+class TestLinkOutage:
+    def test_hsm_recovers_through_transient_outage(self):
+        cluster, rt = make_runtime(2, ServiceMode.HSM)
+        inj = FaultInjector(cluster, FaultPlan(
+            (LinkOutage(at=0.0005, duration=0.02, host=1),))).arm()
+        results = add_pingpong(rt, rounds=3)
+        makespan = rt.run()
+        assert results["replies"] == [("pong", i) for i in range(3)]
+        # the outage actually bit: bursts were faulted and EC retransmitted
+        assert any(s.bursts_faulted > 0
+                   for s in (cluster.fabric.adapters[h.host.name].stats
+                             for h in cluster.stacks)) or any(
+            ch.bursts_faulted > 0
+            for _, _, d in cluster.fabric.graph.edges(data=True)
+            for ch in (d["link"].fwd, d["link"].rev))
+        assert any(node.mps.ec.retransmissions > 0 for node in rt.nodes)
+        assert makespan > 0.02  # could not finish before the link healed
+        assert [edge for _, edge, _ in inj.log] == ["begin", "end"]
+
+    def test_fault_window_lands_on_tracer_timeline(self):
+        cluster, rt = make_runtime(2, ServiceMode.HSM)
+        FaultInjector(cluster, FaultPlan(
+            (LinkOutage(at=0.0005, duration=0.02, host=1),))).arm()
+        add_pingpong(rt, rounds=2)
+        rt.run()
+        tl = cluster.tracer.timelines["fault:0"]
+        assert len(tl.intervals) == 1
+        iv = tl.intervals[0]
+        assert iv.activity is Activity.FAULT
+        assert iv.start == pytest.approx(0.0005)
+        assert iv.end == pytest.approx(0.0205)
+        assert "link-outage" in iv.label
+
+
+class TestBerSpike:
+    def test_ethernet_segment_spike_tcp_recovers(self):
+        cluster = build_ethernet_cluster(2, seed=3, trace=True)
+        rt = NcsRuntime(cluster, mode=ServiceMode.NSM)
+        FaultInjector(cluster, FaultPlan(
+            (BerSpike(at=0.001, duration=0.5, ber=1e-4),))).arm()
+        results = add_pingpong(rt, rounds=2, size=4096)
+        rt.run()
+        assert results["replies"] == [("pong", 0), ("pong", 1)]
+        assert cluster.lan.frames_dropped > 0   # the spike really dropped
+        assert cluster.lan.fault_ber == 0.0     # and really healed
+
+    def test_atm_link_spike_ec_recovers(self):
+        cluster, rt = make_runtime(2, ServiceMode.HSM)
+        FaultInjector(cluster, FaultPlan(
+            (BerSpike(at=0.0, duration=0.05, host=1, ber=1e-5),))).arm()
+        results = add_pingpong(rt, rounds=3, size=65536)
+        rt.run()
+        assert results["replies"] == [("pong", i) for i in range(3)]
+        for _, _, d in cluster.fabric.graph.edges(data=True):
+            assert d["link"].fwd.ber_override is None   # healed
+
+
+class TestHostCrash:
+    def test_crash_and_restart_recovers(self):
+        cluster, rt = make_runtime(2, ServiceMode.HSM)
+        FaultInjector(cluster, FaultPlan(
+            (HostCrash(at=0.0005, duration=0.03, host=1),))).arm()
+        results = add_pingpong(rt, rounds=3)
+        makespan = rt.run()
+        assert results["replies"] == [("pong", i) for i in range(3)]
+        assert makespan > 0.03
+        assert not cluster.host(1).frozen
+        assert cluster.fabric.adapters["n1"].up
+
+
+class TestSwitchPortStall:
+    def test_stall_delays_but_loses_nothing(self):
+        # baseline makespan without the stall
+        _, rt0 = make_runtime(2, ServiceMode.HSM)
+        add_pingpong(rt0, rounds=3)
+        baseline = rt0.run()
+
+        cluster, rt = make_runtime(2, ServiceMode.HSM)
+        FaultInjector(cluster, FaultPlan(
+            (SwitchPortStall(at=0.0002, duration=0.04, host=1),))).arm()
+        results = add_pingpong(rt, rounds=3)
+        makespan = rt.run()
+        assert results["replies"] == [("pong", i) for i in range(3)]
+        assert makespan > baseline  # head-of-line blocking, not loss
+        # stall is loss-free: no EC give-ups were needed
+        assert all(node.mps.ec.gave_up == 0 for node in rt.nodes)
+
+
+class TestMessageLevelFaults:
+    def test_message_loss_is_retransmitted_through(self):
+        cluster, rt = make_runtime(2, ServiceMode.HSM, seed=11)
+        inj = FaultInjector(cluster, FaultPlan(
+            (MessageLoss(at=0.0, duration=1.0, p=0.5, pids=(1,)),)),
+            runtime=rt).arm()
+        results = add_pingpong(rt, rounds=4)
+        rt.run()
+        assert results["replies"] == [("pong", i) for i in range(4)]
+        assert rt.nodes[1].mps.messages_faulted > 0
+        assert inj.log[0][1] == "begin"
+
+    def test_partition_blocks_only_across_groups(self):
+        cluster, rt = make_runtime(3, ServiceMode.HSM)
+        inj = FaultInjector(cluster, FaultPlan(
+            (Partition(at=0.0, groups=((0, 1), (2,))),)),   # permanent
+            runtime=rt).arm()
+        # 0 <-> 1 are in the same group: traffic flows despite the partition
+        results = add_pingpong(rt, rounds=2, pinger=0, ponger=1)
+        rt.run()
+        assert results["replies"] == [("pong", 0), ("pong", 1)]
+        assert inj._blocked(0, 2) and inj._blocked(2, 1)
+        assert not inj._blocked(0, 1)
+
+
+class TestArmValidation:
+    def test_unknown_host_rejected(self):
+        cluster, rt = make_runtime(2, ServiceMode.HSM)
+        with pytest.raises(ValueError):
+            FaultInjector(cluster, FaultPlan(
+                (LinkOutage(at=0.0, duration=0.1, host=9),))).arm()
+
+    def test_message_faults_need_runtime(self):
+        cluster, _ = make_runtime(2, ServiceMode.HSM)
+        with pytest.raises(ValueError):
+            FaultInjector(cluster, FaultPlan(
+                (MessageLoss(at=0.0, p=0.5),))).arm()
+
+    def test_switch_stall_needs_atm(self):
+        cluster = build_ethernet_cluster(2)
+        with pytest.raises(ValueError):
+            FaultInjector(cluster, FaultPlan(
+                (SwitchPortStall(at=0.0, duration=0.1, host=1),))).arm()
+
+    def test_double_arm_rejected(self):
+        cluster, rt = make_runtime(2, ServiceMode.HSM)
+        inj = FaultInjector(cluster, FaultPlan(
+            (LinkOutage(at=0.0, duration=0.1, host=0),)))
+        inj.arm()
+        with pytest.raises(RuntimeError):
+            inj.arm()
+
+    def test_conflicting_rx_filter_rejected(self):
+        cluster, rt = make_runtime(2, ServiceMode.HSM)
+        rt.nodes[0].mps.rx_fault = lambda msg: False
+        with pytest.raises(RuntimeError):
+            FaultInjector(cluster, FaultPlan(
+                (MessageLoss(at=0.0, p=0.5),)), runtime=rt).arm()

@@ -1,0 +1,68 @@
+"""Shared workload builders for the chaos suite."""
+
+from repro import NcsRuntime, ServiceMode, build_atm_cluster
+
+#: all three paper service modes, exercised on the same ATM cluster
+MODES = [ServiceMode.P4, ServiceMode.NSM, ServiceMode.HSM]
+
+#: fast error control for tests that *expect* permanent loss: gives up
+#: after ~0.01 + 0.02 + 0.04 + 0.08 ≈ 0.15 simulated seconds
+FAST_EC = {"timeout_s": 0.01, "max_retries": 3, "check_interval_s": 0.002}
+
+
+def make_runtime(n_hosts, mode, error="ack", error_kwargs=None,
+                 seed=1995, trace=True):
+    """An ATM cluster plus an NCS runtime in the given service mode."""
+    cluster = build_atm_cluster(n_hosts, seed=seed, trace=trace)
+    rt = NcsRuntime(cluster, mode=mode, error=error,
+                    error_kwargs=error_kwargs)
+    return cluster, rt
+
+
+def add_pingpong(rt, rounds=3, size=4096, pinger=0, ponger=1):
+    """Thread on ``pinger`` exchanges ``rounds`` request/reply pairs with
+    a thread on ``ponger``.  Returns a dict filled with the replies."""
+    results = {}
+
+    def pong(ctx):
+        for _ in range(rounds):
+            m = yield ctx.recv(tag=1)
+            yield ctx.send(m.from_thread, m.from_process,
+                           ("pong", m.data[1]), size, tag=2)
+
+    def ping(ctx, peer):
+        got = []
+        for i in range(rounds):
+            yield ctx.send(peer, ponger, ("ping", i), size, tag=1)
+            reply = yield ctx.recv(tag=2)
+            got.append(reply.data)
+        results["replies"] = got
+
+    peer_tid = rt.t_create(ponger, pong, name="pong")
+    rt.t_create(pinger, ping, (peer_tid,), name="ping")
+    return results
+
+
+def add_ring_workload(rt, n_hosts, rounds=2, size=2048):
+    """One thread per process: pass a token around the ring ``rounds``
+    times, then meet at a barrier.  Returns {pid: received tokens}."""
+    received = {pid: [] for pid in range(n_hosts)}
+    rt.register_barrier(0, parties=n_hosts)
+
+    def body(ctx, pid):
+        nxt = (pid + 1) % n_hosts
+        prev = (pid - 1) % n_hosts
+        for r in range(rounds):
+            yield ctx.send(-1, nxt, (pid, r), size, tag=r + 10)
+            msg = yield ctx.recv(from_process=prev, tag=r + 10)
+            received[pid].append(msg.data)
+        yield ctx.barrier(0)
+
+    for pid in range(n_hosts):
+        rt.t_create(pid, body, (pid,), name=f"ring-{pid}")
+    return received
+
+
+def expected_ring(n_hosts, rounds=2):
+    return {pid: [((pid - 1) % n_hosts, r) for r in range(rounds)]
+            for pid in range(n_hosts)}
