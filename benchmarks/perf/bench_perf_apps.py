@@ -1,0 +1,26 @@
+"""Wall-clock benchmarks of the paper's applications (reduced sizes).
+
+The pytest-benchmark twin of the ``BENCH_apps.json`` half of
+``python -m repro.bench --perf``: matmul, the JPEG pipeline and the
+DIF-FFT, each on a 2-node simulated Ethernet cluster at sizes small
+enough that the suite stays interactive.
+
+Run with ``pytest benchmarks/perf -q``.
+"""
+
+from repro.bench import perf
+
+
+def test_app_matmul(sim_bench):
+    sim = sim_bench(perf.bench_app_matmul)
+    assert sim["correct"]
+
+
+def test_app_jpeg(sim_bench):
+    sim = sim_bench(perf.bench_app_jpeg)
+    assert sim["correct"]
+
+
+def test_app_fft(sim_bench):
+    sim = sim_bench(perf.bench_app_fft)
+    assert sim["correct"]

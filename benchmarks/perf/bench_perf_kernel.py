@@ -1,0 +1,32 @@
+"""Wall-clock micro-benchmarks of the simulator's hot paths.
+
+These are the same kernel benchmarks ``python -m repro.bench --perf``
+writes to ``BENCH_kernel.json``, run under pytest-benchmark so the CI
+perf job gets per-benchmark timings and the usual ``--benchmark-*``
+tooling.  The assertions pin the deterministic ``sim`` fields — the
+wall-clock threshold check lives in ``repro.bench.perf.check_regression``
+against the committed baseline, not here.
+
+Run with ``pytest benchmarks/perf -q``.
+"""
+
+from repro.bench import perf
+
+
+def test_kernel_event_loop(sim_bench):
+    sim = sim_bench(perf.bench_kernel_event_loop)
+    assert sim["events_processed"] >= 50_000
+    assert sim["sim_time_s"] == 0.05
+
+
+def test_mts_context_switch(sim_bench):
+    sim = sim_bench(perf.bench_mts_context_switch)
+    # two threads x 5000 yields, plus scheduler entry/exit switches
+    assert sim["context_switches"] >= 10_000
+
+
+def test_mps_pingpong(sim_bench):
+    sim = sim_bench(perf.bench_mps_pingpong)
+    assert sim["roundtrips"] == 200
+    assert sim["messages_sent"] == 400
+    assert sim["makespan_s"] > 0

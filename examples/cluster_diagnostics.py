@@ -1,16 +1,27 @@
 #!/usr/bin/env python
-"""A tour of the observability surface: one workload, every counter.
+"""A tour of the observability surface: one workload, every signal.
 
 Runs the same NCS workload over the Approach-1 (p4/TCP) tier on Ethernet
-and over the HSM (ATM API) tier on the ATM LAN, then prints the full
-cluster diagnostics report for each — frames, segments, cells, PDUs,
-retransmissions, context switches.
+and over the HSM (ATM API) tier on the ATM LAN, then shows the three
+telemetry outputs the repo produces:
+
+* the cluster diagnostics report (every layer's counters, generated
+  from the metrics registry);
+* a raw registry snapshot excerpt (the same numbers, queryable);
+* a Chrome trace (open it at https://ui.perfetto.dev or in
+  chrome://tracing) and a JSONL span stream, written to a temp dir.
 
 Run:  python examples/cluster_diagnostics.py
 """
 
-from repro import NcsRuntime, ServiceMode, build_atm_cluster, build_ethernet_cluster
+import tempfile
+from pathlib import Path
+
+from repro import (
+    NcsRuntime, ServiceMode, build_atm_cluster, build_ethernet_cluster,
+)
 from repro.diagnostics import cluster_report, render_report
+from repro.obs import export_chrome_trace, export_jsonl, iter_records
 
 
 def run_workload(cluster, mode):
@@ -30,15 +41,40 @@ def run_workload(cluster, mode):
     return rt, makespan
 
 
+def show_snapshot_excerpt(cluster) -> None:
+    snap = cluster.metrics.snapshot()
+    print("--- registry snapshot (excerpt) ---")
+    for name in ("sim.events_processed", "mps.data_sent",
+                 "transport.bytes_sent", "mts.context_switches"):
+        for label_str, value in snap.get(name, {}).items():
+            shown = f"{name}{{{label_str}}}" if label_str else name
+            print(f"  {shown} = {value}")
+
+
+def export_traces(cluster, out_dir: Path, tag: str) -> None:
+    chrome = out_dir / f"{tag}.trace.json"
+    jsonl = out_dir / f"{tag}.trace.jsonl"
+    export_chrome_trace(cluster.tracer, chrome, metrics=cluster.metrics)
+    export_jsonl(cluster.tracer, jsonl)
+    n_spans = sum(1 for r in iter_records(cluster.tracer)
+                  if r["type"] == "span")
+    print(f"--- traces ({n_spans} spans) ---")
+    print(f"  chrome trace: {chrome}   (load in https://ui.perfetto.dev)")
+    print(f"  span stream:  {jsonl}")
+
+
 def main() -> None:
-    for title, cluster, mode in (
-            ("Approach 1 (p4 over TCP, shared Ethernet)",
-             build_ethernet_cluster(2), ServiceMode.P4),
-            ("High Speed Mode (ATM API, FORE switch)",
-             build_atm_cluster(2), ServiceMode.HSM)):
+    out_dir = Path(tempfile.mkdtemp(prefix="repro-telemetry-"))
+    for tag, title, cluster, mode in (
+            ("ethernet-p4", "Approach 1 (p4 over TCP, shared Ethernet)",
+             build_ethernet_cluster(2, trace=True), ServiceMode.P4),
+            ("atm-hsm", "High Speed Mode (ATM API, FORE switch)",
+             build_atm_cluster(2, trace=True), ServiceMode.HSM)):
         rt, makespan = run_workload(cluster, mode)
         print(f"=== {title} — 8 x 24 KiB in {makespan * 1e3:.1f} ms ===")
         print(render_report(cluster_report(cluster, rt)))
+        show_snapshot_excerpt(cluster)
+        export_traces(cluster, out_dir, tag)
         print()
 
 

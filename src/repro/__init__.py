@@ -17,7 +17,10 @@ deterministic discrete-event-simulated system:
 * :mod:`repro.apps` — the paper's applications (matmul, JPEG, FFT);
 * :mod:`repro.faults` — deterministic fault injection (link outages,
   BER spikes, host crashes, partitions) for the chaos test suite;
-* :mod:`repro.bench` — the harness regenerating every table and figure.
+* :mod:`repro.obs` — unified telemetry: the metrics registry every
+  layer publishes into, and Chrome-trace/JSONL span export;
+* :mod:`repro.bench` — the harness regenerating every table and figure,
+  plus the wall-clock perf harness (``python -m repro.bench --perf``).
 
 Quickstart::
 
@@ -49,6 +52,7 @@ from .net import (
     Cluster, build_atm_cluster, build_ethernet_cluster, build_nynet,
     nynet_testbed,
 )
+from .obs import MetricsRegistry, NULL_REGISTRY
 from .p4 import P4Process, P4Runtime
 from .sim import Simulator
 
@@ -60,6 +64,7 @@ __all__ = [
     "ServiceMode",
     "Cluster", "build_atm_cluster", "build_ethernet_cluster", "build_nynet",
     "nynet_testbed",
+    "MetricsRegistry", "NULL_REGISTRY",
     "P4Process", "P4Runtime",
     "Simulator",
     "__version__",

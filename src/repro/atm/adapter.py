@@ -90,6 +90,24 @@ class Sba200Adapter:
         self.stats = AdapterStats()
         #: per-shaped-VC burst queues (vc_id -> Store), drained by pacers
         self._shapers: dict[int, Store] = {}
+        # telemetry handles (no-ops when the registry is disabled)
+        _m = sim.metrics
+        self._m_pdus_sent = _m.counter(
+            "atm.pdus_sent", help="AAL PDUs segmented onto the uplink",
+            host=host_name)
+        self._m_pdus_received = _m.counter(
+            "atm.pdus_received", help="AAL PDUs reassembled and delivered",
+            host=host_name)
+        self._m_pdus_failed = _m.counter(
+            "atm.pdus_failed", help="PDUs dropped by AAL5 CRC/loss",
+            host=host_name)
+        self._m_cells_sent = _m.counter(
+            "atm.cells_sent", help="cells segmented", host=host_name)
+        self._m_cells_received = _m.counter(
+            "atm.cells_received", help="cells reassembled", host=host_name)
+        self._m_bursts_faulted = _m.counter(
+            "atm.bursts_faulted", help="bursts poisoned by injected faults",
+            host=host_name)
 
     # --------------------------------------------------------------- wiring
     def attach_uplink(self, channel: Channel) -> None:
@@ -134,6 +152,8 @@ class Sba200Adapter:
         n_cells = aal.pdu_cells(payload_bytes)
         self.stats.pdus_sent += 1
         self.stats.cells_sent += n_cells
+        self._m_pdus_sent.inc()
+        self._m_cells_sent.inc(n_cells)
         remaining_cells = n_cells
         remaining_bytes = payload_bytes
         while remaining_cells > 0:
@@ -198,6 +218,7 @@ class Sba200Adapter:
         if not self.up or (self.rx_fault is not None and self.rx_fault(burst)):
             burst.corrupted = True
             self.stats.bursts_faulted += 1
+            self._m_bursts_faulted.inc()
         vc = burst.vc
         key = (id(vc), burst.msg_id)
         st = self._rx.get(key)
@@ -205,6 +226,7 @@ class Sba200Adapter:
             st = self._rx[key] = _RxState()
         st.bursts += 1
         self.stats.cells_received += burst.n_cells
+        self._m_cells_received.inc(burst.n_cells)
         if burst.corrupted:
             st.corrupted = True
         else:
@@ -215,10 +237,12 @@ class Sba200Adapter:
             del self._rx[key]
             if st.corrupted:
                 self.stats.pdus_failed += 1
+                self._m_pdus_failed.inc()
                 if self.rx_error_handler is not None:
                     self.rx_error_handler(vc, burst.msg_id)
                 return
             self.stats.pdus_received += 1
+            self._m_pdus_received.inc()
             self.sim.process(
                 self._deliver(vc, st.payload, st.bytes_ok, burst.msg_id),
                 name=f"adapter-rx:{self.host_name}")

@@ -97,6 +97,10 @@ class Channel:
         self.bursts_carried = 0
         self.bursts_corrupted = 0
         self.bursts_faulted = 0
+        # telemetry handle (no-op when the registry is disabled)
+        self._m_link_faulted = sim.metrics.counter(
+            "atm.link_bursts_faulted",
+            help="bursts lost/corrupted by link faults", link=name)
         sim.process(self._drain(), name=f"chan:{name}")
 
     def connect(self, endpoint: BurstSink) -> None:
@@ -156,6 +160,7 @@ class Channel:
             if not self.up:
                 burst.corrupted = True
                 self.bursts_faulted += 1
+                self._m_link_faulted.inc()
             else:
                 ber = self.effective_ber
                 if ber > 0.0 and self._rng is not None:

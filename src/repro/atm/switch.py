@@ -51,6 +51,17 @@ class AtmSwitch:
         self.bursts_dropped = 0
         self.bursts_unroutable = 0
         self.bursts_faulted = 0
+        # telemetry handles (no-ops when the registry is disabled)
+        _m = sim.metrics
+        self._m_forwarded = _m.counter(
+            "atm.bursts_forwarded", help="bursts switched to an output port",
+            switch=name)
+        self._m_dropped = _m.counter(
+            "atm.bursts_dropped", help="bursts lost to output-buffer overflow",
+            switch=name)
+        self._m_sw_faulted = _m.counter(
+            "atm.switch_bursts_faulted",
+            help="bursts discarded by switch faults", switch=name)
 
     # ---------------------------------------------------------- fault hooks
     def fail(self) -> None:
@@ -97,6 +108,7 @@ class AtmSwitch:
     def receive_burst(self, burst: CellBurst, channel: Channel) -> None:
         if not self.up:
             self.bursts_faulted += 1
+            self._m_sw_faulted.inc()
             return
         try:
             route = self.lookup(channel, burst.vci)
@@ -109,9 +121,11 @@ class AtmSwitch:
         if (self.output_buffer_cells is not None
                 and out.queued_cells + burst.n_cells > self.output_buffer_cells):
             self.bursts_dropped += 1
+            self._m_dropped.inc()
             return
         burst.vci = route.out_vci
         self.bursts_forwarded += 1
+        self._m_forwarded.inc()
         self.sim.process(self._forward_later(burst, out),
                          name=f"switch-fwd:{self.name}")
 

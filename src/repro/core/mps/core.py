@@ -113,6 +113,25 @@ class NcsMps:
         self.data_sent = 0
         self.data_received = 0
         self.messages_faulted = 0
+        # telemetry handles (no-ops when the registry is disabled)
+        _m = self.sim.metrics
+        self._m_sent = _m.counter(
+            "mps.data_sent", help="DATA messages queued by NCS_send/bcast",
+            pid=self.pid)
+        self._m_received = _m.counter(
+            "mps.data_received", help="DATA messages delivered to NCS_recv",
+            pid=self.pid)
+        self._m_faulted = _m.counter(
+            "mps.messages_faulted",
+            help="arrivals discarded by injected network loss", pid=self.pid)
+        self._m_lost = _m.counter(
+            "mps.messages_lost",
+            help="messages error control permanently gave up on",
+            pid=self.pid)
+        self._m_bytes = _m.histogram(
+            "mps.message_bytes", help="DATA message size distribution",
+            buckets=(64, 1024, 8 * 1024, 64 * 1024, 1024 * 1024),
+            pid=self.pid)
         # wire up
         transport.set_delivery_handler(self._on_arrival)
         self.send_tid = scheduler.t_create(
@@ -170,6 +189,8 @@ class NcsMps:
             data=op.data, size=op.size, tag=op.tag,
             msg_uid=self._next_uid())
         self.data_sent += 1
+        self._m_sent.inc()
+        self._m_bytes.observe(op.size)
         tid = thread.tid
         self._enqueue_send(SendRequest(
             msg, notify=lambda: self.scheduler.wake_from_op(tid)))
@@ -206,6 +227,8 @@ class NcsMps:
                 data=op.data, size=op.size, tag=op.tag,
                 msg_uid=self._next_uid())
             self.data_sent += 1
+            self._m_sent.inc()
+            self._m_bytes.observe(op.size)
             self._enqueue_send(SendRequest(msg, notify=one_done))
         self.scheduler._block(thread, "ncs-send", Activity.COMMUNICATE)
         return True
@@ -306,6 +329,7 @@ class NcsMps:
         silent hang.  (``NcsRuntime.run`` additionally re-raises at the
         end of the run; see ``raise_message_lost``.)"""
         self.lost_messages.append(msg)
+        self._m_lost.inc()
         self.host.tracer.point(f"ncs:{self.pid}", "message-lost",
                                (msg.kind.value, msg.msg_uid))
         exc = MessageLost(
@@ -373,6 +397,7 @@ class NcsMps:
                 # injected network loss: the message simply never arrives
                 # (error control, if armed, will retransmit it)
                 self.messages_faulted += 1
+                self._m_faulted.inc()
                 self.host.tracer.point(f"ncs:{self.pid}", "rx-fault",
                                        (msg.kind.value, msg.msg_uid))
                 return
@@ -467,6 +492,7 @@ class NcsMps:
             if self.fc.wants_credits and msg.from_process != self.pid:
                 self.fc.on_data_delivered(msg)
             self.data_received += 1
+            self._m_received.inc()
             self.scheduler.wake_from_op(req.thread.tid, value=msg)
 
     # --------------------------------------------------------------- cleanup

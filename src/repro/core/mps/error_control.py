@@ -50,6 +50,14 @@ class ErrorControl:
     def bind(self, mps: Any) -> None:
         self.mps = mps
         self.sim = mps.sim
+        # telemetry handles (no-ops when the registry is disabled)
+        _m = mps.sim.metrics
+        self._m_retransmissions = _m.counter(
+            "ec.retransmissions", help="EC timer/NACK retransmissions",
+            pid=mps.pid)
+        self._m_gave_up = _m.counter(
+            "ec.gave_up", help="messages abandoned after max_retries",
+            pid=mps.pid)
 
     def has_pending(self) -> bool:
         """True while unacked/retransmittable messages remain — keeps the
@@ -158,6 +166,7 @@ class AckRetransmitErrorControl(ErrorControl):
         msg, _, retries = entry
         if retries >= self.max_retries:
             self.gave_up += 1
+            self._m_gave_up.inc()
             del self._unacked[uid]
             self.mps.host.tracer.point(
                 f"ec:{self.mps.pid}", "gave-up", uid)
@@ -167,6 +176,7 @@ class AckRetransmitErrorControl(ErrorControl):
         backoff = self.timeout_s * (2 ** entry[2])
         entry[1] = self.sim.now + backoff
         self.retransmissions += 1
+        self._m_retransmissions.inc()
         self.mps.host.tracer.point(
             f"ec:{self.mps.pid}", "retransmit", uid)
         accepted = self.mps.transport.start_send(msg)

@@ -41,6 +41,14 @@ class FlowControl:
     def bind(self, mps: Any) -> None:
         self.mps = mps
         self.sim: Simulator = mps.sim
+        # telemetry handles (no-ops when the registry is disabled)
+        _m = mps.sim.metrics
+        self._m_stalls = _m.counter(
+            "fc.send_stalls", help="sends gated by flow control",
+            pid=mps.pid)
+        self._m_credits = _m.counter(
+            "fc.credits_applied", help="credit messages applied",
+            pid=mps.pid)
 
     def acquire(self, dest_pid: int, nbytes: int) -> Optional[Event]:
         """None: proceed now.  Event: the send thread must wait on it."""
@@ -98,6 +106,7 @@ class WindowFlowControl(FlowControl):
             return None
         ev = self.sim.event(name="fc-window-wait")
         self._waiters.append((dest_pid, take, ev))
+        self._m_stalls.inc()
         return ev
 
     def on_data_delivered(self, msg) -> None:
@@ -113,6 +122,7 @@ class WindowFlowControl(FlowControl):
     def _apply_credits(self) -> None:
         while self._credit_q:
             pid, nbytes = self._credit_q.popleft()
+            self._m_credits.inc()
             self._outstanding[pid] = max(0, self.outstanding(pid) - nbytes)
         # admit as many waiters as now fit, FIFO per arrival
         still_waiting: Deque[tuple[int, int, Event]] = deque()
@@ -179,6 +189,7 @@ class RateFlowControl(FlowControl):
             return None
         ev = self.sim.event(name="fc-rate-wait")
         self._waiters.append((need, ev))
+        self._m_stalls.inc()
         if self._wake is not None and not self._wake.triggered:
             self._wake.succeed(None)
         return ev

@@ -60,6 +60,21 @@ class NcsTransport:
         #: statistics
         self.messages_sent = 0
         self.bytes_sent = 0
+        # telemetry handles (no-ops when the registry is disabled);
+        # ``transport`` is the subclass's mode name ("p4", "socket", "atm")
+        _m = self.sim.metrics
+        self._m_messages = _m.counter(
+            "transport.messages_sent", help="NCS messages handed to the wire",
+            pid=pid, transport=self.name)
+        self._m_bytes = _m.counter(
+            "transport.bytes_sent", help="NCS payload bytes handed to the wire",
+            pid=pid, transport=self.name)
+
+    def _count_send(self, msg: NcsMessage) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += msg.size
+        self._m_messages.inc()
+        self._m_bytes.inc(msg.size)
 
     def set_delivery_handler(self, fn: Callable[[NcsMessage], None]) -> None:
         self._deliver = fn
@@ -113,8 +128,7 @@ class SocketTransport(NcsTransport):
 
     def start_send(self, msg: NcsMessage) -> Event:
         accepted = self.sim.event(name="ncs-sock-accepted")
-        self.messages_sent += 1
-        self.bytes_sent += msg.size
+        self._count_send(msg)
         return self._spawn(self._send_path(msg), accepted,
                            f"ncs-sock-tx:{self.pid}")
 
@@ -225,8 +239,7 @@ class AtmTransport(NcsTransport):
 
     def start_send(self, msg: NcsMessage) -> Event:
         accepted = self.sim.event(name="ncs-atm-accepted")
-        self.messages_sent += 1
-        self.bytes_sent += msg.size
+        self._count_send(msg)
         vc = self.cluster.hsm_vc(self.pid, msg.to_process)
         return self._spawn(
             self.pipeline.pipelined_send(vc, msg, msg.wire_bytes),

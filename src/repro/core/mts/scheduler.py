@@ -59,6 +59,18 @@ class MtsScheduler:
         self._permits: set[int] = set()
         #: statistics
         self.context_switches = 0
+        # telemetry handles (no-ops when the registry is disabled)
+        _m = self.sim.metrics
+        pid = process.pid
+        self._m_switches = _m.counter(
+            "mts.context_switches",
+            help="thread switches charged by the scheduler", pid=pid)
+        self._m_threads = _m.counter(
+            "mts.threads_created", help="NCS_t_create calls", pid=pid)
+        self._m_slice = _m.histogram(
+            "mts.slice_seconds",
+            help="distribution of uninterrupted thread slice lengths",
+            pid=pid)
 
     # ------------------------------------------------------------- creation
     def t_create(self, fn: Callable[..., Generator], args: tuple = (),
@@ -73,6 +85,7 @@ class MtsScheduler:
         thread = NcsThread(tid, fn, args, priority, ctx, name=name,
                            is_system=is_system)
         self.threads[tid] = thread
+        self._m_threads.inc()
         if self._started:
             self._make_runnable(thread, None)
         return tid
@@ -186,10 +199,13 @@ class MtsScheduler:
                 continue
             if self._last_thread is not thread:
                 self.context_switches += 1
+                self._m_switches.inc()
                 yield from self.host.cpu_busy(
                     os.thread_switch_time, Activity.OVERHEAD, "thread-switch")
                 self._last_thread = thread
+            slice_start = self.sim.now
             yield from self._run_slice(thread)
+            self._m_slice.observe(self.sim.now - slice_start)
             if self._may_shut_down:
                 return
 

@@ -1,10 +1,17 @@
-"""Cluster-wide diagnostics: gather every counter the substrates keep.
+"""Cluster-wide diagnostics, generated from the telemetry registry.
 
 A release-grade observability surface: after (or during) a run,
-``cluster_report`` walks the cluster and collects per-layer statistics —
-Ethernet frames and collisions, ATM cells/PDUs/drops, TCP segments and
-retransmissions, NCS message counts and scheduler context switches —
-into one nested dict, and ``render_report`` pretty-prints it.
+``cluster_report`` renders the cluster's :class:`~repro.obs.MetricsRegistry`
+into one nested dict — Ethernet frames and collisions, ATM cells/PDUs/
+drops, TCP segments and retransmissions, NCS message counts and
+scheduler context switches — and ``render_report`` pretty-prints it.
+
+Every number comes out of the registry the layers themselves publish
+into (see :mod:`repro.obs`); nothing here reaches into private layer
+state.  When a cluster was built with ``metrics=False`` the registry is
+the no-op null registry, so the report falls back to the layers' public
+counters (``EthernetLan.frames_delivered``, :meth:`TcpStack.stats`,
+``AdapterStats``...) — same shape, same values, no telemetry required.
 
 >>> report = cluster_report(cluster)
 >>> print(render_report(report))
@@ -23,6 +30,78 @@ def cluster_report(cluster, runtime=None) -> dict:
     ``runtime`` (an :class:`~repro.core.api.NcsRuntime`) adds NCS-level
     counters when provided.
     """
+    m = cluster.metrics
+    if m.enabled:
+        return _report_from_registry(cluster, runtime, m)
+    return _report_from_public_counters(cluster, runtime)
+
+
+def _report_from_registry(cluster, runtime, m) -> dict:
+    report: dict[str, Any] = {"medium": cluster.medium, "hosts": {}}
+
+    if cluster.lan is not None:
+        report["ethernet"] = {
+            "frames_delivered": m.value("ethernet.frames_delivered"),
+            "collision_events": m.value("ethernet.collision_events"),
+        }
+    if cluster.fabric is not None:
+        report["atm_switches"] = {
+            name: {
+                "bursts_forwarded": m.value("atm.bursts_forwarded",
+                                            switch=name),
+                "bursts_dropped": m.value("atm.bursts_dropped", switch=name),
+            }
+            for name in cluster.fabric.switches
+        }
+
+    for stack in cluster.stacks:
+        name = stack.host.name
+        host: dict[str, Any] = {}
+        host["ip"] = {
+            "packets_sent": m.value("ip.packets_sent", host=name),
+            "packets_received": m.value("ip.packets_received", host=name),
+            "fragments_sent": m.value("ip.fragments_sent", host=name),
+        }
+        host["tcp"] = {
+            "segments_sent": m.value("tcp.segments_sent", host=name),
+            "acks_sent": m.value("tcp.acks_sent", host=name),
+            "retransmissions": m.value("tcp.retransmissions", host=name),
+        }
+        if stack.atm_api is not None:
+            host["atm"] = {
+                "pdus_sent": m.value("atm.pdus_sent", host=name),
+                "pdus_received": m.value("atm.pdus_received", host=name),
+                "pdus_failed": m.value("atm.pdus_failed", host=name),
+                "cells_sent": m.value("atm.cells_sent", host=name),
+                "cells_received": m.value("atm.cells_received", host=name),
+            }
+        report["hosts"][name] = host
+
+    if runtime is not None:
+        ncs: dict[str, Any] = {}
+        for node in runtime.nodes:
+            pid = node.pid
+            ncs[f"pid{pid}"] = {
+                "data_sent": m.value("mps.data_sent", pid=pid),
+                "data_received": m.value("mps.data_received", pid=pid),
+                "messages_lost": m.value("mps.messages_lost", pid=pid),
+                "transport_messages": m.value(
+                    "transport.messages_sent", pid=pid,
+                    transport=node.transport.name),
+                "transport_bytes": m.value(
+                    "transport.bytes_sent", pid=pid,
+                    transport=node.transport.name),
+                "context_switches": m.value("mts.context_switches", pid=pid),
+                "threads": m.value("mts.threads_created", pid=pid),
+                "ec_retransmissions": m.value("ec.retransmissions", pid=pid),
+            }
+        report["ncs"] = ncs
+    return report
+
+
+def _report_from_public_counters(cluster, runtime) -> dict:
+    """Same report, built from the layers' public counters (used when the
+    cluster was built with telemetry disabled)."""
     report: dict[str, Any] = {"medium": cluster.medium, "hosts": {}}
 
     if cluster.lan is not None:
@@ -31,31 +110,20 @@ def cluster_report(cluster, runtime=None) -> dict:
             "collision_events": cluster.lan.collision_events,
         }
     if cluster.fabric is not None:
-        switches = {}
-        for name, sw in cluster.fabric.switches.items():
-            switches[name] = {
-                "bursts_forwarded": sw.bursts_forwarded,
-                "bursts_dropped": sw.bursts_dropped,
-            }
-        report["atm_switches"] = switches
+        report["atm_switches"] = {
+            name: {"bursts_forwarded": sw.bursts_forwarded,
+                   "bursts_dropped": sw.bursts_dropped}
+            for name, sw in cluster.fabric.switches.items()
+        }
 
-    for idx, stack in enumerate(cluster.stacks):
+    for stack in cluster.stacks:
         host: dict[str, Any] = {}
-        # IP
         host["ip"] = {
             "packets_sent": stack.ip.packets_sent,
             "packets_received": stack.ip.packets_received,
             "fragments_sent": stack.ip.fragments_sent,
         }
-        # TCP (aggregate over this host's connections)
-        segs = acks = rexmit = 0
-        for conn in stack.tcp._conns.values():
-            segs += conn.segments_sent
-            acks += conn.acks_sent
-            rexmit += conn.retransmits
-        host["tcp"] = {"segments_sent": segs, "acks_sent": acks,
-                       "retransmissions": rexmit}
-        # ATM adapter
+        host["tcp"] = stack.tcp.stats()
         if stack.atm_api is not None:
             st = stack.atm_api.adapter.stats
             host["atm"] = {

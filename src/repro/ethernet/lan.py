@@ -55,6 +55,14 @@ class EthernetLan:
         self.frames_delivered = 0
         self.frames_dropped = 0
         self.collision_events = 0
+        # telemetry handles (no-ops when the registry is disabled)
+        _m = sim.metrics
+        self._m_delivered = _m.counter(
+            "ethernet.frames_delivered", help="frames carried end to end")
+        self._m_dropped = _m.counter(
+            "ethernet.frames_dropped", help="frames lost to faults/outages")
+        self._m_collisions = _m.counter(
+            "ethernet.collision_events", help="CSMA/CD collision episodes")
 
     # ---------------------------------------------------------- fault hooks
     def fail(self) -> None:
@@ -110,6 +118,7 @@ class EthernetLan:
                 # is when real CSMA/CD would have collided.  Charge a jam
                 # time plus backoff, release, and retry.
                 self.collision_events += 1
+                self._m_collisions.inc()
                 attempt += 1
                 yield self.sim.timeout(SLOT_BITS / self.bandwidth_bps)
                 self.medium.release()
@@ -128,17 +137,21 @@ class EthernetLan:
         nic = self.nics[frame.dst]
         if not self.up or not nic.up:
             self.frames_dropped += 1
+            self._m_dropped.inc()
             return
         if self.fault_ber > 0.0:
             bits = frame.wire_bytes * 8
             p_bad = 1.0 - (1.0 - self.fault_ber) ** bits
             if self._fault_rng.random() < p_bad:
                 self.frames_dropped += 1
+                self._m_dropped.inc()
                 return
         if nic.rx_fault is not None and nic.rx_fault(frame):
             self.frames_dropped += 1
+            self._m_dropped.inc()
             return
         self.frames_delivered += 1
+        self._m_delivered.inc()
         nic._receive(frame)
 
 
@@ -199,6 +212,7 @@ class EthernetNic:
             if not self.up:
                 # a crashed host's queued frames never make the wire
                 self.lan.frames_dropped += 1
+                self.lan._m_dropped.inc()
                 continue
             yield from self.lan.transmit(frame)
             self.frames_sent += 1

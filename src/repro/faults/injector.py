@@ -55,6 +55,12 @@ class FaultInjector:
         #: currently active message-loss events
         self._msgloss: list[MessageLoss] = []
         self._armed = False
+        # telemetry handles (no-ops when the registry is disabled)
+        _m = self.sim.metrics
+        self._m_begun = _m.counter(
+            "faults.events_begun", help="fault events that have started")
+        self._m_healed = _m.counter(
+            "faults.events_healed", help="transient fault events that ended")
 
     # ------------------------------------------------------------------ arm
     def arm(self) -> "FaultInjector":
@@ -102,8 +108,10 @@ class FaultInjector:
         self.log.append((self.sim.now, edge, ev.describe()))
         entity = f"fault:{index}"
         if edge == "begin":
+            self._m_begun.inc()
             self.tracer.begin(entity, Activity.FAULT, ev.describe())
         else:
+            self._m_healed.inc()
             self.tracer.end(entity)
 
     def _begin(self, ev: FaultEvent, index: int) -> None:

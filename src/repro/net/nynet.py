@@ -25,6 +25,7 @@ from ..atm import (
 )
 from ..hosts import Host, HostParams, OsProcess, SUN_IPX
 from ..protocols import AtmIpAdapter, IpLayer, SocketLayer, TcpParams, TcpStack, UdpStack
+from ..obs.registry import MetricsRegistry, NULL_REGISTRY
 from ..sim import NullTracer, RngRegistry, Simulator, Tracer
 from .topology import Cluster, NodeStack
 
@@ -51,6 +52,7 @@ def build_nynet(sites: list[SiteSpec],
                 tcp_params: TcpParams | None = None,
                 seed: int = 1995,
                 trace: bool = False,
+                metrics: bool = True,
                 train_cells: int = 256,
                 preconnect: bool = True) -> Cluster:
     """Build the Fig 1 testbed with the given sites.
@@ -63,7 +65,7 @@ def build_nynet(sites: list[SiteSpec],
         raise ValueError("need at least one site with hosts")
     if len({s.name for s in sites}) != len(sites):
         raise ValueError("site names must be unique")
-    sim = Simulator()
+    sim = Simulator(metrics=MetricsRegistry() if metrics else NULL_REGISTRY)
     rngs = RngRegistry(seed)
     tracer = Tracer(sim) if trace else NullTracer(sim)
     fabric = AtmFabric(sim)

@@ -23,6 +23,7 @@ from ..atm import (
 )
 from ..ethernet import EthernetLan, EthernetNic
 from ..hosts import Host, HostParams, OsProcess, SUN_ELC, SUN_IPX
+from ..obs.registry import MetricsRegistry, NULL_REGISTRY
 from ..protocols import (
     AtmIpAdapter, EthernetIpAdapter, IpLayer, SocketLayer, TcpParams,
     TcpStack, UdpStack,
@@ -65,6 +66,11 @@ class Cluster:
     def n_hosts(self) -> int:
         return len(self.stacks)
 
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The universe's telemetry registry (lives on the simulator)."""
+        return self.sim.metrics
+
     def stack(self, idx: int) -> NodeStack:
         return self.stacks[idx]
 
@@ -103,13 +109,14 @@ def build_ethernet_cluster(
         tcp_params: Optional[TcpParams] = None,
         seed: int = 1995,
         trace: bool = False,
+        metrics: bool = True,
         collisions: bool = False,
         bandwidth_bps: float = 10e6,
         preconnect: bool = True) -> Cluster:
     """N workstations on one shared Ethernet segment."""
     if n_hosts < 1:
         raise ValueError("need at least one host")
-    sim = Simulator()
+    sim = Simulator(metrics=MetricsRegistry() if metrics else NULL_REGISTRY)
     rngs = RngRegistry(seed)
     tracer = Tracer(sim) if trace else NullTracer(sim)
     lan = EthernetLan(sim, bandwidth_bps=bandwidth_bps,
@@ -140,6 +147,7 @@ def build_atm_cluster(
         tcp_params: Optional[TcpParams] = None,
         seed: int = 1995,
         trace: bool = False,
+        metrics: bool = True,
         link_spec: LinkSpec = TAXI_140,
         switch_latency_s: float = 10e-6,
         train_cells: int = 256,
@@ -147,7 +155,7 @@ def build_atm_cluster(
     """N workstations star-wired to one FORE switch over TAXI links."""
     if n_hosts < 1:
         raise ValueError("need at least one host")
-    sim = Simulator()
+    sim = Simulator(metrics=MetricsRegistry() if metrics else NULL_REGISTRY)
     rngs = RngRegistry(seed)
     tracer = Tracer(sim) if trace else NullTracer(sim)
     fabric = AtmFabric(sim)

@@ -1,0 +1,193 @@
+"""Span-based trace export: one unified stream, two wire formats.
+
+The :class:`~repro.sim.Tracer` already holds everything the paper's
+figures are drawn from — per-entity activity intervals (Fig 16's
+compute/communicate/idle bands, Fig 4's send/recv/compute overlap),
+instantaneous point events (message sent, cell dropped, EC retransmit)
+and the fault windows the injector records as ``Activity.FAULT``
+intervals.  This module flattens all of it into a single time-ordered
+record stream and serialises that stream as:
+
+* **Chrome trace-event JSON** (:func:`export_chrome_trace`) — loadable
+  in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``, with
+  one *process* track per simulated host and one *thread* track per NCS
+  thread, so the Fig 16 Gantt chart becomes an interactive timeline;
+* **JSONL** (:func:`export_jsonl`) — one record per line for ad-hoc
+  ``jq``/pandas analysis.
+
+Simulated seconds map to trace microseconds (Perfetto's native unit);
+``pid``/``tid`` numbers are assigned deterministically from the sorted
+entity names, so same-seed runs export byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator, Optional, TextIO
+
+from ..sim.trace import Tracer
+
+__all__ = [
+    "iter_records",
+    "to_chrome_events",
+    "export_chrome_trace",
+    "export_jsonl",
+    "entity_track",
+]
+
+#: synthetic "process" grouping the injector's fault windows
+FAULT_PROCESS = "faults"
+
+
+def entity_track(entity: str) -> tuple[str, str]:
+    """Map a tracer entity name to a ``(process, thread)`` track.
+
+    The conventions in force across the codebase:
+
+    * ``"n0"``           — a host CPU timeline        -> ``("n0", "cpu")``
+    * ``"n0/worker-1"``  — an MTS thread timeline     -> ``("n0", "worker-1")``
+    * ``"fault:3"``      — an injected fault window   -> ``("faults", "fault:3")``
+    * anything else (``"ncs:0"``, ``"ec:1"`` point streams) gets its own
+      single-thread track: ``(entity, "main")``.
+    """
+    if "/" in entity:
+        proc, thread = entity.split("/", 1)
+        return proc, thread
+    if entity.startswith("fault:"):
+        return FAULT_PROCESS, entity
+    # bare host names ("n0") are CPU timelines; namespaced point streams
+    # ("ncs:0", "ec:1") become their own single-track process
+    return entity, "main" if ":" in entity else "cpu"
+
+
+def iter_records(tracer: Tracer) -> Iterator[dict[str, Any]]:
+    """The unified telemetry stream, ordered by time.
+
+    Yields ``{"type": "span", "t0", "t1", "entity", "activity", "label"}``
+    for every closed interval (fault windows included — they are ordinary
+    ``Activity.FAULT`` spans) and ``{"type": "point", "t", "entity",
+    "kind", "payload"}`` for every point event.
+    """
+    records: list[tuple[float, int, dict[str, Any]]] = []
+    for name in sorted(tracer.timelines):
+        for iv in tracer.timelines[name].intervals:
+            records.append((iv.start, 0, {
+                "type": "span", "t0": iv.start, "t1": iv.end,
+                "entity": name, "activity": iv.activity.value,
+                "label": iv.label}))
+    for t, entity, kind, payload in tracer.events:
+        records.append((t, 1, {
+            "type": "point", "t": t, "entity": entity, "kind": kind,
+            "payload": _json_safe(payload)}))
+    records.sort(key=lambda r: (r[0], r[1], r[2]["entity"]))
+    for _, _, rec in records:
+        yield rec
+
+
+def _json_safe(payload: Any) -> Any:
+    """Payloads are arbitrary Python objects; keep them JSON-clean."""
+    try:
+        json.dumps(payload)
+        return payload
+    except (TypeError, ValueError):
+        return repr(payload)
+
+
+def _track_ids(tracer: Tracer) -> tuple[dict[str, int], dict[tuple[str, str], int]]:
+    """Deterministic integer pid/tid assignment for every entity."""
+    tracks: set[tuple[str, str]] = set()
+    for name in tracer.timelines:
+        tracks.add(entity_track(name))
+    for _, entity, _, _ in tracer.events:
+        tracks.add(entity_track(entity))
+    pids = {proc: i + 1
+            for i, proc in enumerate(sorted({p for p, _ in tracks}))}
+    tids: dict[tuple[str, str], int] = {}
+    by_proc: dict[str, list[str]] = {}
+    for proc, thread in sorted(tracks):
+        by_proc.setdefault(proc, []).append(thread)
+    for proc, threads in by_proc.items():
+        for i, thread in enumerate(sorted(threads)):
+            tids[(proc, thread)] = i + 1
+    return pids, tids
+
+
+def to_chrome_events(tracer: Tracer) -> list[dict[str, Any]]:
+    """The ``traceEvents`` array: metadata + complete + instant events."""
+    pids, tids = _track_ids(tracer)
+    events: list[dict[str, Any]] = []
+    # -- metadata: name the tracks
+    for proc in sorted(pids):
+        events.append({"ph": "M", "name": "process_name", "pid": pids[proc],
+                       "args": {"name": proc}})
+        events.append({"ph": "M", "name": "process_sort_index",
+                       "pid": pids[proc], "args": {"sort_index": pids[proc]}})
+    for (proc, thread), tid in sorted(tids.items()):
+        events.append({"ph": "M", "name": "thread_name", "pid": pids[proc],
+                       "tid": tid, "args": {"name": thread}})
+    # -- the record stream
+    for rec in iter_records(tracer):
+        if rec["type"] == "span":
+            proc, thread = entity_track(rec["entity"])
+            events.append({
+                "ph": "X",
+                "name": rec["label"] or rec["activity"],
+                "cat": rec["activity"],
+                "pid": pids[proc], "tid": tids[(proc, thread)],
+                "ts": rec["t0"] * 1e6,
+                "dur": (rec["t1"] - rec["t0"]) * 1e6,
+                "args": {"activity": rec["activity"],
+                         "label": rec["label"]},
+            })
+        else:
+            proc, thread = entity_track(rec["entity"])
+            events.append({
+                "ph": "i",
+                "name": rec["kind"],
+                "cat": "point",
+                "pid": pids[proc], "tid": tids[(proc, thread)],
+                "ts": rec["t"] * 1e6,
+                "s": "t",
+                "args": {"payload": rec["payload"]},
+            })
+    return events
+
+
+def export_chrome_trace(tracer: Tracer, path: Any,
+                        metrics: Optional[Any] = None,
+                        close_open: bool = True) -> Any:
+    """Write a complete Chrome trace-event file; returns ``path``.
+
+    ``metrics`` (a :class:`~repro.obs.MetricsRegistry`) embeds the final
+    metric snapshot under ``otherData`` so a single file carries both the
+    timeline and the counters.  ``close_open`` closes still-open
+    intervals at the current simulated time first (end-of-run default).
+    """
+    if close_open:
+        tracer.close_all()
+    doc: dict[str, Any] = {
+        "traceEvents": to_chrome_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs", "time_unit": "sim-microseconds"},
+    }
+    if metrics is not None:
+        doc["otherData"]["metrics"] = metrics.snapshot()
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+def export_jsonl(tracer: Tracer, path: Any, close_open: bool = True) -> Any:
+    """Write the unified record stream as JSON Lines; returns ``path``."""
+    if close_open:
+        tracer.close_all()
+    with open(path, "w") as fh:
+        _write_jsonl(tracer, fh)
+    return path
+
+
+def _write_jsonl(tracer: Tracer, fh: TextIO) -> None:
+    for rec in iter_records(tracer):
+        fh.write(json.dumps(rec, sort_keys=True))
+        fh.write("\n")

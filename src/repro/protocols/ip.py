@@ -70,6 +70,15 @@ class IpLayer:
         self.packets_sent = 0
         self.packets_received = 0
         self.fragments_sent = 0
+        # telemetry handles (no-ops when the registry is disabled)
+        _m = sim.metrics
+        self._m_sent = _m.counter(
+            "ip.packets_sent", help="datagrams emitted", host=host_name)
+        self._m_received = _m.counter(
+            "ip.packets_received", help="datagrams delivered upward",
+            host=host_name)
+        self._m_fragments = _m.counter(
+            "ip.fragments_sent", help="fragments emitted", host=host_name)
 
     def register_protocol(self, proto: str,
                           handler: Callable[[IpPacket], None]) -> None:
@@ -94,6 +103,7 @@ class IpLayer:
         max_payload = self.adapter.mtu - IP_HEADER_BYTES
         if payload_bytes <= max_payload:
             self.packets_sent += 1
+            self._m_sent.inc()
             self.adapter.send(dst_host, IpPacket(
                 self.host_name, dst_host, proto, payload, payload_bytes, ident))
             return
@@ -109,8 +119,10 @@ class IpLayer:
                 payload if last else None, take, ident,
                 frag_offset=offset, more_frags=not last))
             self.fragments_sent += 1
+            self._m_fragments.inc()
             offset += take
         self.packets_sent += 1
+        self._m_sent.inc()
 
     # -------------------------------------------------------------- receive
     def receive(self, packet: IpPacket) -> None:
@@ -150,6 +162,7 @@ class IpLayer:
 
     def _deliver(self, packet: IpPacket) -> None:
         self.packets_received += 1
+        self._m_received.inc()
         handler = self._handlers.get(packet.proto)
         if handler is None:
             return  # no listener: drop, like a closed port

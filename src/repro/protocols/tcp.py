@@ -226,6 +226,7 @@ class TcpConnection:
 
     def _emit(self, seg: TcpSegment) -> None:
         self.segments_sent += 1
+        self.stack._m_segments.inc()
         self.stack.ip.send(self.remote, "tcp", seg, seg.wire_bytes)
 
     # ------------------------------------------------------------- receive
@@ -277,6 +278,7 @@ class TcpConnection:
     def _ack_now(self) -> None:
         self._segs_unacked = 0
         self.acks_sent += 1
+        self.stack._m_acks.inc()
         self._emit_ack()
 
     def _delayed_ack(self):
@@ -331,6 +333,7 @@ class TcpConnection:
                 # oldest unacked segment timed out: retransmit it
                 seq = min(self._inflight)
                 self.retransmits += 1
+                self.stack._m_retransmits.inc()
                 self._emit(self._inflight[seq])
                 self._rto = min(self._rto * 2, self.params.rto_max_s)
         self._rto_running = False
@@ -347,6 +350,17 @@ class TcpStack:
         self.params = params or TcpParams()
         self._conns: dict[tuple[str, int], TcpConnection] = {}
         self._rx_q: Store = Store(self.sim, name=f"tcprx:{host.name}")
+        # telemetry handles: connections publish through their stack so
+        # the per-host aggregate is maintained, not recomputed
+        _m = self.sim.metrics
+        self._m_segments = _m.counter(
+            "tcp.segments_sent", help="TCP segments emitted (data+ctl)",
+            host=host.name)
+        self._m_acks = _m.counter(
+            "tcp.acks_sent", help="pure ACK segments emitted", host=host.name)
+        self._m_retransmits = _m.counter(
+            "tcp.retransmissions", help="RTO-driven retransmissions",
+            host=host.name)
         ip.register_protocol("tcp", self._on_packet)
         self.sim.process(self._rx_loop(), name=f"tcp-rx:{host.name}")
 
@@ -357,6 +371,22 @@ class TcpStack:
         if conn is None:
             conn = self._conns[key] = TcpConnection(self, remote, cid)
         return conn
+
+    def connections(self) -> list["TcpConnection"]:
+        """The live connection objects (read-only view)."""
+        return list(self._conns.values())
+
+    def stats(self) -> dict[str, int]:
+        """Aggregate TCP statistics over every connection on this host —
+        the public surface :func:`repro.diagnostics.cluster_report` (and
+        anything else) should use instead of walking private state."""
+        segs = acks = rexmit = 0
+        for conn in self._conns.values():
+            segs += conn.segments_sent
+            acks += conn.acks_sent
+            rexmit += conn.retransmits
+        return {"segments_sent": segs, "acks_sent": acks,
+                "retransmissions": rexmit}
 
     def _on_packet(self, packet) -> None:
         self._rx_q.try_put(packet.payload)

@@ -31,6 +31,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from ..obs.registry import MetricsRegistry
+
 __all__ = [
     "PENDING",
     "Event",
@@ -342,11 +344,19 @@ class Simulator:
     the test-suite).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[SimProcess] = None
+        #: the universe's telemetry registry: every layer built on this
+        #: simulator publishes its counters here (pass
+        #: ``repro.obs.NULL_REGISTRY`` for a zero-overhead run)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_events = self.metrics.counter(
+            "sim.events_processed", help="events popped off the calendar")
+        self._m_procs = self.metrics.counter(
+            "sim.processes_started", help="SimProcess coroutines registered")
 
     # ------------------------------------------------------------------ clock
     @property
@@ -377,6 +387,7 @@ class Simulator:
 
     def process(self, gen: Generator[Event, Any, Any], name: str = "") -> SimProcess:
         """Register a coroutine as a simulated process."""
+        self._m_procs.inc()
         return SimProcess(self, gen, name=name)
 
     def call_in(self, delay: float, fn: Callable[[], Any]) -> Timeout:
@@ -415,6 +426,7 @@ class Simulator:
         if t < self._now:  # pragma: no cover - kernel invariant
             raise SimulationError("time went backwards")
         self._now = t
+        self._m_events.inc()
         event._process()
 
     def run(self, until: Optional[float] = None,

@@ -1,0 +1,20 @@
+"""Regenerate the committed golden Chrome trace:
+
+    PYTHONPATH=src python -m tests.obs.regen_golden
+
+Only do this when an export-format change is intentional; the diff of
+``golden_chrome_trace.json`` then documents exactly what changed.
+"""
+
+from repro.obs import export_chrome_trace
+
+from .test_export import GOLDEN, golden_tracer
+
+
+def main() -> None:
+    export_chrome_trace(golden_tracer(), GOLDEN)
+    print(f"wrote {GOLDEN}")
+
+
+if __name__ == "__main__":
+    main()
