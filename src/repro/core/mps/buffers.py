@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Any, Generator, Optional
 
 from ...hosts import Host, KernelBufferPool
-from ...sim import Activity, Event, Resource
+from ...sim import Activity, Event, Resource, Store
 from .datapath import DatapathModel, NCS_DATAPATH
 
 __all__ = ["BufferPipeline"]
@@ -40,6 +40,14 @@ class BufferPipeline:
         #: chunks currently in flight (diagnostics / tests)
         self.chunks_in_flight = 0
         self.max_chunks_in_flight = 0
+        #: chunks whose background drain died (fault injection); the old
+        #: per-chunk processes failed silently, so these are diagnostics
+        #: only — they never propagate
+        self.chunk_errors = 0
+        self.last_chunk_error: Optional[BaseException] = None
+        #: one long-lived drain coroutine serves every message instead of
+        #: one short-lived process per chunk; created on first send
+        self._jobs: Optional[Store] = None
 
     def pipelined_send(self, vc, payload: Any, nbytes: int
                        ) -> Generator[Event, Any, Event]:
@@ -59,11 +67,16 @@ class BufferPipeline:
                                       Activity.OVERHEAD, "ncs:trap")
         all_submitted = self.sim.event(name=f"submitted:{msg_id}")
         pending = {"n": len(chunks)}
+        jobs = self._jobs
+        if jobs is None:
+            jobs = self._ensure_drain()
 
         for i, chunk in enumerate(chunks):
             # wait for a free output buffer (with k buffers, copy i+1
             # overlaps the DMA/SAR/wire of chunk i)
-            yield self._buffers.request()
+            req = self._buffers.request()
+            yield req
+            self.sim.recycle(req)
             yield from self.host.cpu_busy(
                 self.datapath.comm_copy_time(cpu, chunk),
                 Activity.COMMUNICATE, "ncs:fill-buffer")
@@ -71,25 +84,48 @@ class BufferPipeline:
             self.chunks_in_flight += 1
             self.max_chunks_in_flight = max(self.max_chunks_in_flight,
                                             self.chunks_in_flight)
-            self.sim.process(
-                self._drain_chunk(vc, chunk, msg_id, is_final,
-                                  payload if is_final else None,
-                                  all_submitted, pending),
-                name=f"iobuf-drain:{self.host.name}")
+            jobs.put((vc, chunk, msg_id, is_final,
+                      payload if is_final else None, all_submitted, pending))
         return all_submitted
 
+    def _ensure_drain(self) -> Store:
+        """Start the pipeline's one background drain coroutine.
+
+        Handing a submitted chunk to the persistent drain costs the same
+        single zero-delay calendar hop that booting a fresh process did,
+        so every DMA/SAR/release timestamp is unchanged; only the
+        per-chunk generator+process allocation disappears.
+        """
+        self._jobs = jobs = Store(self.sim, name=f"iobuf-jobs:{self.host.name}")
+        self.sim.process(self._drain_loop(),
+                         name=f"iobuf-drain:{self.host.name}")
+        return jobs
+
     # Each chunk's background life: DMA to the adapter, hand to SAR,
-    # release the kernel buffer for the next fill.
-    def _drain_chunk(self, vc, chunk_bytes: int, msg_id: int,
-                     is_final: bool, payload: Any, all_submitted: Event,
-                     pending: dict):
-        try:
-            yield from self.adapter.dma_transfer(chunk_bytes)
-            self.adapter.send_pdu(vc, chunk_bytes, msg_id=msg_id,
-                                  is_final=is_final, payload=payload)
-        finally:
-            self.chunks_in_flight -= 1
-            self._buffers.release()
-            pending["n"] -= 1
-            if pending["n"] <= 0 and not all_submitted.triggered:
-                all_submitted.succeed(None)
+    # release the kernel buffer for the next fill.  One coroutine drains
+    # all chunks in submission order (the DMA engine is a capacity-1 FIFO
+    # resource, so they serialized in exactly this order before too).
+    def _drain_loop(self):
+        jobs = self._jobs
+        sim = self.sim
+        recycle = sim.recycle
+        while True:
+            get_ev = jobs.get()
+            job = yield get_ev
+            recycle(get_ev)
+            vc, chunk_bytes, msg_id, is_final, payload, all_submitted, pending = job
+            try:
+                yield from self.adapter.dma_transfer(chunk_bytes)
+                self.adapter.send_pdu(vc, chunk_bytes, msg_id=msg_id,
+                                      is_final=is_final, payload=payload)
+            except Exception as exc:
+                # a fault killed this chunk mid-drain; the per-chunk
+                # process it replaces died silently, so record and move on
+                self.chunk_errors += 1
+                self.last_chunk_error = exc
+            finally:
+                self.chunks_in_flight -= 1
+                self._buffers.release()
+                pending["n"] -= 1
+                if pending["n"] <= 0 and not all_submitted.triggered:
+                    all_submitted.succeed(None)

@@ -91,6 +91,8 @@ class NcsMps:
         self.ec.bind(self)
         # message plumbing
         self.mailbox = Mailbox(self.sim, name=f"ncs:{self.pid}")
+        self._sendsig_name = f"sendsig:{self.pid}"
+        self._recvsig_name = f"recvsig:{self.pid}"
         self.send_q: Deque[SendRequest] = deque()
         self.recv_reqs: list[RecvRequest] = []
         self._send_signal: Optional[Event] = None
@@ -355,7 +357,7 @@ class NcsMps:
         """The send system thread (Fig 8)."""
         while True:
             if not self.send_q:
-                self._send_signal = self.sim.event(name=f"sendsig:{self.pid}")
+                self._send_signal = self.sim.event(name=self._sendsig_name)
                 yield ops.WaitEvent(self._send_signal)
                 self._send_signal = None
                 continue
@@ -476,7 +478,7 @@ class NcsMps:
             match = self._find_match()
             if match is None:
                 arrival = self.mailbox.arrival_event()
-                self._recv_signal = self.sim.event(name=f"recvsig:{self.pid}")
+                self._recv_signal = self.sim.event(name=self._recvsig_name)
                 combined = self.sim.any_of([arrival, self._recv_signal])
                 yield ops.WaitEvent(combined)
                 self._recv_signal = None

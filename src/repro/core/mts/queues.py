@@ -37,9 +37,14 @@ class QueueNode(Generic[T]):
 class CircularQueue(Generic[T]):
     """A circular doubly-linked list with head/tail semantics (Fig 9)."""
 
+    __slots__ = ("_head", "_size", "level")
+
     def __init__(self) -> None:
         self._head: Optional[QueueNode[T]] = None
         self._size = 0
+        #: position in an owning :class:`MultilevelPriorityQueue` (set by
+        #: the owner; unused for standalone queues)
+        self.level = 0
 
     def __len__(self) -> int:
         return self._size
@@ -105,15 +110,25 @@ class MultilevelPriorityQueue:
 
     Priority 0 is the highest (system threads — send/receive/FC/EC — run
     there so communication requests are serviced promptly).
+
+    A bitmask of non-empty levels makes :meth:`dequeue` O(1): the lowest
+    set bit is the highest-priority occupied level, found with two's
+    complement arithmetic instead of scanning all N queues — the same
+    "find first set" trick real multilevel schedulers use.
     """
 
     def __init__(self, levels: int = N_PRIORITY_LEVELS):
         if levels < 1:
             raise ValueError("need at least one priority level")
         self.levels = levels
-        self._queues: list[CircularQueue[Any]] = [CircularQueue()
-                                                  for _ in range(levels)]
+        self._queues: list[CircularQueue[Any]] = []
+        for i in range(levels):
+            q = CircularQueue()
+            q.level = i
+            self._queues.append(q)
         self._size = 0
+        #: bit i set <=> level i has at least one queued item
+        self._occupied = 0
 
     def __len__(self) -> int:
         return self._size
@@ -126,24 +141,32 @@ class MultilevelPriorityQueue:
 
     def enqueue(self, item: Any, priority: int) -> QueueNode[Any]:
         node = self._queues[self.check_priority(priority)].append(item)
+        self._occupied |= 1 << priority
         self._size += 1
         return node
 
     def dequeue(self) -> Optional[Any]:
         """Highest-priority, round-robin item; None when empty."""
-        for q in self._queues:
-            if q:
-                self._size -= 1
-                return q.popleft()
-        return None
+        occupied = self._occupied
+        if not occupied:
+            return None
+        level = (occupied & -occupied).bit_length() - 1
+        q = self._queues[level]
+        item = q.popleft()
+        if not q._size:
+            self._occupied = occupied & ~(1 << level)
+        self._size -= 1
+        return item
 
     def remove(self, node: QueueNode[Any]) -> None:
-        for q in self._queues:
-            if node.owner is q:
-                q.remove(node)
-                self._size -= 1
-                return
-        raise ValueError("node not present in any level")
+        q = node.owner
+        if not isinstance(q, CircularQueue) or self._queues[
+                q.level if q.level < self.levels else 0] is not q:
+            raise ValueError("node not present in any level")
+        q.remove(node)
+        if not q._size:
+            self._occupied &= ~(1 << q.level)
+        self._size -= 1
 
     def level_sizes(self) -> list[int]:
         return [len(q) for q in self._queues]

@@ -54,7 +54,12 @@ class MtsScheduler:
         self._tid_seq = 0
         self._started = False
         self._idle_ev: Optional[Event] = None
+        self._idle_name = f"idle:{process.name}"
         self._proc: Optional[SimProcess] = None
+        #: count of user (non-system) threads not yet FINISHED/FAILED,
+        #: kept in t_create/_finish so user_threads_done is O(1) on the
+        #: per-slice shutdown check instead of a scan over all threads
+        self._live_users = 0
         #: pending unblock permits for not-yet-blocked threads
         self._permits: set[int] = set()
         #: statistics
@@ -85,6 +90,8 @@ class MtsScheduler:
         thread = NcsThread(tid, fn, args, priority, ctx, name=name,
                            is_system=is_system)
         self.threads[tid] = thread
+        if not is_system:
+            self._live_users += 1
         self._m_threads.inc()
         if self._started:
             self._make_runnable(thread, None)
@@ -166,8 +173,7 @@ class MtsScheduler:
     # ---------------------------------------------------------------- loop
     @property
     def user_threads_done(self) -> bool:
-        return all(not t.alive for t in self.threads.values()
-                   if not t.is_system)
+        return self._live_users == 0
 
     @property
     def _may_shut_down(self) -> bool:
@@ -179,6 +185,13 @@ class MtsScheduler:
 
     def _loop(self) -> Generator[Event, Any, None]:
         os = self.host.os
+        sim = self.sim
+        peek = sim.peek
+        timeout = sim.timeout
+        recycle = sim.recycle
+        dequeue = self.runnable.dequeue
+        metrics_on = sim.metrics.enabled
+        switch_time = os.thread_switch_time
         while True:
             # Settle same-instant wakeups before picking a thread: a
             # system-thread signal raised in the slice that just ended
@@ -187,25 +200,30 @@ class MtsScheduler:
             # compute thread could grab the CPU for a long non-preemptive
             # slice while the receive thread's wakeup sat one event away.
             for _ in range(2):
-                if self.sim.peek() <= self.sim.now:
-                    yield self.sim.timeout(0)
-            thread = self.runnable.dequeue()
+                if peek() <= sim.now:
+                    settle = timeout(0)
+                    yield settle
+                    recycle(settle)
+            thread = dequeue()
             if thread is None:
                 if self._may_shut_down:
                     return
-                self._idle_ev = self.sim.event(name=f"idle:{self.process.name}")
-                yield self._idle_ev
+                ev = self._idle_ev = sim.event(name=self._idle_name)
+                yield ev
                 self._idle_ev = None
+                recycle(ev)
                 continue
             if self._last_thread is not thread:
                 self.context_switches += 1
-                self._m_switches.inc()
+                if metrics_on:
+                    self._m_switches.inc()
                 yield from self.host.cpu_busy(
-                    os.thread_switch_time, Activity.OVERHEAD, "thread-switch")
+                    switch_time, Activity.OVERHEAD, "thread-switch")
                 self._last_thread = thread
-            slice_start = self.sim.now
+            slice_start = sim.now
             yield from self._run_slice(thread)
-            self._m_slice.observe(self.sim.now - slice_start)
+            if metrics_on:
+                self._m_slice.observe(sim.now - slice_start)
             if self._may_shut_down:
                 return
 
@@ -331,6 +349,8 @@ class MtsScheduler:
         else:
             thread.state = ThreadState.FINISHED
             thread.result = result
+        if not thread.is_system:
+            self._live_users -= 1
         if self.host.tracer.enabled:
             self.host.tracer.end(self._entity(thread))
         for jtid in thread.joiners:

@@ -12,7 +12,14 @@ from __future__ import annotations
 import enum
 from typing import Any, Callable, Generator, Optional
 
+from . import ops
+
 __all__ = ["ThreadState", "NcsThread", "ThreadContext"]
+
+# Argument-less ops are frozen dataclasses, so a single shared instance
+# serves every thread — yielding one is hot-path (every context switch).
+_YIELD_CPU = ops.YieldCpu()
+_BLOCK_SELF = ops.BlockSelf()
 
 
 class ThreadState(enum.Enum):
@@ -82,59 +89,46 @@ class ThreadContext:
 
     # thin sugar over the op dataclasses --------------------------------
     def compute(self, seconds: float, label: str = "compute"):
-        from . import ops
         return ops.Compute(seconds, label)
 
     def send(self, to_thread: int, to_process: int, data: Any, size: int,
              tag: int = 0):
-        from . import ops
         return ops.Send(to_thread, to_process, data, size, tag)
 
     def recv(self, from_thread: int = -1, from_process: int = -1,
              tag: int = -1, timeout=None):
-        from . import ops
         return ops.Recv(from_thread, from_process, tag, timeout)
 
     def probe(self, from_thread: int = -1, from_process: int = -1,
               tag: int = -1):
-        from . import ops
         return ops.Probe(from_thread, from_process, tag)
 
     def bcast(self, targets, data: Any, size: int, tag: int = 0,
               dedup_processes: bool = False):
-        from . import ops
         return ops.Bcast(tuple(targets), data, size, tag, dedup_processes)
 
     def barrier(self, barrier_id: int = 0, parties: int = 0):
-        from . import ops
         return ops.Barrier(barrier_id, parties)
 
     def block(self):
-        from . import ops
-        return ops.BlockSelf()
+        return _BLOCK_SELF
 
     def unblock(self, tid: int, value: Any = None):
-        from . import ops
         return ops.Unblock(tid, value)
 
     def yield_cpu(self):
-        from . import ops
-        return ops.YieldCpu()
+        return _YIELD_CPU
 
     def sleep(self, seconds: float):
-        from . import ops
         return ops.Sleep(seconds)
 
     def join(self, tid: int):
-        from . import ops
         return ops.Join(tid)
 
     def spawn(self, fn, *args, priority: int = 8, name: str = ""):
-        from . import ops
         return ops.Spawn(fn, args, priority, name)
 
     def throw(self, to_thread: int, to_process: int, exc: BaseException):
-        from . import ops
         return ops.Throw(to_thread, to_process, exc)
 
     @property

@@ -46,6 +46,12 @@ class CpuModel:
             raise ValueError("CPU timing constants must be positive")
         if self.word_bytes <= 0:
             raise ValueError("word_bytes must be positive")
+        # copy_time memo: transports charge the same handful of
+        # (nbytes, accesses) pairs millions of times (chunk sizes, MTU
+        # payloads, header sizes).  The dataclass is frozen, so the cache
+        # lives behind object.__setattr__ and the result for a given key
+        # can never go stale.
+        object.__setattr__(self, "_copy_time_memo", {})
 
     # ------------------------------------------------------------- cycle math
     def cycles(self, n: float) -> float:
@@ -68,11 +74,19 @@ class CpuModel:
         datapath of Fig 3(a) costs 5 accesses per word end to end, the
         NCS datapath of Fig 3(b) costs 3.
         """
+        key = (nbytes, accesses_per_word)
+        memo = self._copy_time_memo
+        hit = memo.get(key)
+        if hit is not None:
+            return hit
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         if accesses_per_word < 0:
             raise ValueError("accesses_per_word must be non-negative")
-        return self.words(nbytes) * accesses_per_word * self.bus_access_time
+        t = self.words(nbytes) * accesses_per_word * self.bus_access_time
+        if len(memo) < 4096:
+            memo[key] = t
+        return t
 
     def touch_time(self, nbytes: int) -> float:
         """Time to read every word once (e.g. a checksum pass)."""

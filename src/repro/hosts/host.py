@@ -86,17 +86,41 @@ class Host:
             return
         quantum = (self.compute_quantum
                    if activity is Activity.COMPUTE else None)
+        tracer = self.tracer
+        traced = tracer.enabled
+        if not self._frozen and (quantum is None or seconds <= quantum):
+            # Single uninterrupted slice — the overwhelmingly common case
+            # (every protocol/OS overhead charge, every short compute).
+            # The grant and timeout are consumed right here, so they go
+            # back to the simulator's pool on the way out.
+            sim = self.sim
+            req = self.cpu_res.request()
+            yield req
+            sim.recycle(req)
+            if traced:
+                tracer.begin(self.name, activity, label)
+            try:
+                tick = sim.timeout(seconds)
+                yield tick
+            finally:
+                if traced:
+                    tracer.end(self.name)
+                self.cpu_res.release()
+            sim.recycle(tick)
+            return
         remaining = seconds
         while remaining > 0:
             while self._frozen:
                 yield self._thaw
             slice_s = remaining if quantum is None else min(quantum, remaining)
             yield self.cpu_res.request()
-            self.tracer.begin(self.name, activity, label)
+            if traced:
+                tracer.begin(self.name, activity, label)
             try:
                 yield self.sim.timeout(slice_s)
             finally:
-                self.tracer.end(self.name)
+                if traced:
+                    tracer.end(self.name)
                 self.cpu_res.release()
             remaining -= slice_s
 

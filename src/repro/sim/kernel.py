@@ -144,7 +144,6 @@ class Event:
         if self._processed:
             fn(self)
         else:
-            assert self.callbacks is not None
             self.callbacks.append(fn)
 
     def _process(self) -> None:
@@ -153,8 +152,9 @@ class Event:
             raise SimulationError(f"{self!r} processed twice")
         self._processed = True
         callbacks, self.callbacks = self.callbacks, None
-        for fn in callbacks or ():
-            fn(self)
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
 
     def __repr__(self) -> str:
         tag = self.name or self.__class__.__name__
@@ -164,17 +164,31 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` simulated seconds after creation."""
+    """An event that fires ``delay`` simulated seconds after creation.
 
-    __slots__ = ()
+    Hot-path note: timeouts are the single most-allocated object in any
+    run, so the constructor assigns slots directly (no ``super()`` chain)
+    and the display name is derived lazily from ``_delay`` instead of
+    being formatted up front.  :meth:`Simulator.timeout` additionally
+    reuses recycled instances (see :meth:`Simulator.recycle`).
+    """
+
+    __slots__ = ("_delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay!r}")
-        super().__init__(sim, name=f"Timeout({delay:.9g})")
-        self._ok = True
+        self.sim = sim
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self._processed = False
+        self._delay = delay
         sim._schedule(self, delay)
+
+    @property
+    def name(self) -> str:  # shadows the inherited slot; repr/debug only
+        return f"Timeout({self._delay:.9g})"
 
 
 class _Condition(Event):
@@ -248,7 +262,7 @@ class SimProcess(Event):
     each other.
     """
 
-    __slots__ = ("_gen", "_waiting_on")
+    __slots__ = ("_gen", "_waiting_on", "_resume_cb")
 
     def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any],
                  name: str = ""):
@@ -256,12 +270,18 @@ class SimProcess(Event):
             raise TypeError(f"process target must be a generator, got {gen!r}")
         super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
         self._gen = gen
-        self._waiting_on: Optional[Event] = None
+        # The one resume callback this process ever registers.  ``_resume``
+        # ignores any event that is not the current ``_waiting_on``, so a
+        # single bound method replaces the per-yield closure the kernel
+        # used to build (the heap's monotonic sequence numbers already
+        # order same-instant wakeups deterministically).
+        self._resume_cb = self._resume
         # Bootstrap: start the generator as soon as the simulator runs.
-        boot = Event(sim, name=f"start:{self.name}")
-        boot.succeed(None)
-        boot.add_callback(self._resume)
-        self._waiting_on = boot
+        boot = Event(sim, name="boot")
+        boot._value = None
+        sim._schedule(boot, 0.0)
+        boot.callbacks.append(self._resume_cb)
+        self._waiting_on: Optional[Event] = boot
 
     @property
     def is_alive(self) -> bool:
@@ -271,35 +291,20 @@ class SimProcess(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if self.triggered:
             raise SimulationError(f"cannot interrupt finished process {self!r}")
-        target = self._waiting_on
         # Detach from whatever we were waiting on; deliver an immediate
-        # event that resumes the generator via .throw().
-        poke = Event(self.sim, name=f"interrupt:{self.name}")
+        # event that resumes the generator via .throw().  The superseded
+        # wait target keeps its callback, but ``_resume`` discards the
+        # stale wakeup because ``_waiting_on`` no longer matches.
+        poke = Event(self.sim, name="interrupt")
         poke._ok = False
         poke._value = Interrupt(cause)
         self._waiting_on = poke
         self.sim._schedule(poke, 0.0)
-        poke.add_callback(self._resume_from(poke))
-        if target is not None and not target._processed:
-            # Leave a tombstone so the stale wakeup is ignored.
-            target.add_callback(self._ignore_stale(target))
-
-    def _ignore_stale(self, ev: Event) -> Callable[[Event], None]:
-        def _cb(_: Event) -> None:
-            return  # superseded by interrupt
-        return _cb
-
-    def _resume_from(self, expected: Event) -> Callable[[Event], None]:
-        def _cb(ev: Event) -> None:
-            if self._waiting_on is expected:
-                self._resume(ev)
-        return _cb
+        poke.callbacks.append(self._resume_cb)
 
     def _resume(self, ev: Event) -> None:
-        if self.triggered:
-            return
-        if self._waiting_on is not ev:
-            return  # stale wakeup (e.g. interrupted while waiting)
+        if self._value is not PENDING or self._waiting_on is not ev:
+            return  # finished, or a stale wakeup (e.g. interrupted)
         self._waiting_on = None
         self.sim._active_process = self
         try:
@@ -324,7 +329,10 @@ class SimProcess(Event):
             self.fail(err)
             return
         self._waiting_on = nxt
-        nxt.add_callback(self._resume_from(nxt))
+        if nxt._processed:
+            self._resume(nxt)
+        else:
+            nxt.callbacks.append(self._resume_cb)
 
 
 def _attach_context(exc: BaseException, proc: "SimProcess") -> BaseException:
@@ -344,11 +352,17 @@ class Simulator:
     the test-suite).
     """
 
+    #: cap on each recycled-event freelist (see :meth:`recycle`)
+    POOL_MAX = 256
+
     def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[SimProcess] = None
+        #: freelists of recycled one-shot events (:meth:`recycle`)
+        self._timeout_pool: list[Timeout] = []
+        self._event_pool: list[Event] = []
         #: the universe's telemetry registry: every layer built on this
         #: simulator publishes its counters here (pass
         #: ``repro.obs.NULL_REGISTRY`` for a zero-overhead run)
@@ -373,17 +387,60 @@ class Simulator:
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay!r}s in the past")
-        self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        seq = self._seq = self._seq + 1
+        heapq.heappush(self._heap, (self._now + delay, seq, event))
 
     # ------------------------------------------------------------- factories
     def event(self, name: str = "") -> Event:
         """A fresh untriggered event."""
+        pool = self._event_pool
+        if pool:
+            ev = pool.pop()
+            ev.callbacks = []
+            ev._value = PENDING
+            ev._ok = True
+            ev._processed = False
+            ev.name = name
+            return ev
         return Event(self, name=name)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event firing after ``delay`` simulated seconds."""
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative timeout delay {delay!r}")
+            ev = pool.pop()
+            ev.callbacks = []
+            ev._value = value
+            ev._ok = True
+            ev._processed = False
+            ev._delay = delay
+            self._schedule(ev, delay)
+            return ev
         return Timeout(self, delay, value)
+
+    def recycle(self, ev: Event) -> None:
+        """Return a one-shot event to the allocation pool.
+
+        Caller contract: the event has been *processed*, the caller was
+        its only remaining owner, and nobody will touch the reference
+        again.  Internal hot paths (``Host.cpu_busy``, the MTS settle
+        step) recycle the timeouts and resource grants they create and
+        immediately consume; application code should simply drop events
+        and let the garbage collector handle them.  Recycling is purely
+        an allocation optimization — pooled or fresh, the simulated
+        behavior is identical.
+        """
+        if not ev._processed:
+            return
+        cls = ev.__class__
+        if cls is Timeout:
+            if len(self._timeout_pool) < self.POOL_MAX:
+                self._timeout_pool.append(ev)
+        elif cls is Event:
+            if len(self._event_pool) < self.POOL_MAX:
+                self._event_pool.append(ev)
 
     def process(self, gen: Generator[Event, Any, Any], name: str = "") -> SimProcess:
         """Register a coroutine as a simulated process."""
@@ -432,13 +489,36 @@ class Simulator:
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> None:
         """Run until the calendar empties, ``until`` is reached, or
-        ``max_events`` have been processed (a runaway guard for tests)."""
+        ``max_events`` have been processed (a runaway guard for tests).
+
+        The stepping logic is inlined here (rather than calling
+        :meth:`step`) with the heap and telemetry handle bound to locals:
+        this loop executes once per event in every experiment, and with
+        telemetry disabled it performs zero per-event attribute lookups
+        beyond the pop itself.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        inc = self._m_events.inc if self.metrics.enabled else None
+        if until is None and max_events is None:
+            # the common full-drain run: the tightest possible loop
+            while heap:
+                entry = pop(heap)
+                self._now = entry[0]
+                if inc is not None:
+                    inc()
+                entry[2]._process()
+            return
         count = 0
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        while heap:
+            if until is not None and heap[0][0] > until:
                 self._now = until
                 return
-            self.step()
+            entry = pop(heap)
+            self._now = entry[0]
+            if inc is not None:
+                inc()
+            entry[2]._process()
             count += 1
             if max_events is not None and count >= max_events:
                 raise SimulationError(

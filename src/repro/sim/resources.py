@@ -38,6 +38,7 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self._req_name = f"req:{name}"
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
 
@@ -51,7 +52,7 @@ class Resource:
 
     def request(self) -> Event:
         """An event that fires once a slot is granted to the caller."""
-        ev = self.sim.event(name=f"req:{self.name}")
+        ev = self.sim.event(name=self._req_name)
         if self._in_use < self.capacity:
             self._in_use += 1
             ev.succeed(self)
@@ -86,6 +87,8 @@ class Store:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self._put_name = f"put:{name}"
+        self._get_name = f"get:{name}"
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._putters: Deque[tuple[Event, Any]] = deque()
@@ -99,7 +102,7 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """An event that fires once the item has been accepted."""
-        ev = self.sim.event(name=f"put:{self.name}")
+        ev = self.sim.event(name=self._put_name)
         if self._getters:
             getter = self._getters.popleft()
             getter.succeed(item)
@@ -120,7 +123,7 @@ class Store:
 
     def get(self) -> Event:
         """An event that fires with the next item."""
-        ev = self.sim.event(name=f"get:{self.name}")
+        ev = self.sim.event(name=self._get_name)
         if self._items:
             ev.succeed(self._items.popleft())
             self._admit_putter()
@@ -156,6 +159,8 @@ class Mailbox:
     def __init__(self, sim: Simulator, name: str = ""):
         self.sim = sim
         self.name = name
+        self._recv_name = f"recv:{name}"
+        self._arrival_name = f"arrival:{name}"
         self._messages: list[Any] = []
         self._receivers: list[tuple[Callable[[Any], bool], Event]] = []
         #: observers fire on every arrival (used by polling loops such as
@@ -185,10 +190,10 @@ class Mailbox:
         for i, msg in enumerate(self._messages):
             if pred(msg):
                 del self._messages[i]
-                ev = self.sim.event(name=f"recv:{self.name}")
+                ev = self.sim.event(name=self._recv_name)
                 ev.succeed(msg)
                 return ev
-        ev = self.sim.event(name=f"recv:{self.name}")
+        ev = self.sim.event(name=self._recv_name)
         self._receivers.append((pred, ev))
         return ev
 
@@ -208,7 +213,7 @@ class Mailbox:
     def arrival_event(self) -> Event:
         """An event firing at the next message arrival (level-triggered
         helpers should combine with :meth:`poll`)."""
-        ev = self.sim.event(name=f"arrival:{self.name}")
+        ev = self.sim.event(name=self._arrival_name)
         self._arrival_watchers.append(ev)
         return ev
 

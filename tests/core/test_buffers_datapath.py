@@ -100,6 +100,61 @@ class TestBufferPipeline:
         self._send(cluster, pipeline, 256 * 1024)
         assert pipeline.max_chunks_in_flight <= 2
 
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_max_in_flight_bounded_by_pool_k(self, k):
+        """The pipelining depth can never exceed the number of kernel
+        buffers: a chunk only counts as in flight while it owns one."""
+        cluster, pipeline = make_pipeline(k=k, buffer_bytes=4096)
+        self._send(cluster, pipeline, 64 * 1024)
+        assert 1 <= pipeline.max_chunks_in_flight <= pipeline.pool.count
+        assert pipeline.chunks_in_flight == 0
+
+    def test_all_submitted_fires_once_when_fault_kills_chunk(self):
+        """A chunk dying mid-drain (adapter fault) must not lose the
+        message's completion: all_submitted still fires exactly once,
+        every buffer is released, and the pipeline keeps working."""
+        cluster, pipeline = make_pipeline(k=2, buffer_bytes=4096)
+        sim = cluster.sim
+        vc = cluster.hsm_vc(0, 1)
+        real_send = pipeline.adapter.send_pdu
+        calls = {"n": 0}
+
+        def flaky_send(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("injected: adapter dropped the chunk")
+            return real_send(*args, **kwargs)
+
+        pipeline.adapter.send_pdu = flaky_send
+        fired = []
+
+        def sender():
+            ev = yield from pipeline.pipelined_send(vc, "m", 16 * 1024)
+            ev.add_callback(lambda e: fired.append(sim.now))
+            yield ev
+
+        sim.process(sender())
+        sim.run(max_events=5_000_000)
+        assert len(fired) == 1
+        assert pipeline.chunks_in_flight == 0
+        assert pipeline.chunk_errors == 1
+        assert isinstance(pipeline.last_chunk_error, RuntimeError)
+
+        # the persistent drain survived the fault: a follow-up send on
+        # the same pipeline still submits fully
+        pipeline.adapter.send_pdu = real_send
+        fired2 = []
+
+        def sender2():
+            ev = yield from pipeline.pipelined_send(vc, "m2", 8192)
+            ev.add_callback(lambda e: fired2.append(True))
+            yield ev
+
+        sim.process(sender2())
+        sim.run(max_events=5_000_000)
+        assert fired2 == [True]
+        assert pipeline.chunks_in_flight == 0
+
     def test_concurrent_sends_share_buffers(self):
         """Two messages through one pipeline: both arrive, buffers are
         never over-committed."""

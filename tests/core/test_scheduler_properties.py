@@ -90,6 +90,42 @@ class TestSchedulerProperties:
             (p, i) for i, p in enumerate(priorities))]
         assert order == expected
 
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(1, 4)),
+                    min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_priority_round_robin_law(self, specs):
+        """The full slice sequence of yield-only threads must match the
+        multilevel round-robin reference model (paper Fig 9): always
+        dispatch from the lowest-numbered non-empty priority level, FIFO
+        within a level, a yielding thread re-enqueues at its level's tail
+        before the next dispatch."""
+        sim, host, sched = make_env()
+        order = []
+
+        def body(ctx, idx, slices):
+            for _ in range(slices):
+                order.append(idx)
+                yield ctx.yield_cpu()
+
+        for i, (prio, slices) in enumerate(specs):
+            sched.t_create(body, (i, slices), priority=prio)
+        sched.start()
+        sim.run(max_events=200_000)
+
+        # executable reference model
+        levels = {}
+        for i, (prio, slices) in enumerate(specs):
+            levels.setdefault(prio, []).append([i, slices])
+        expected = []
+        while any(levels.values()):
+            level = min(p for p, q in levels.items() if q)
+            entry = levels[level].pop(0)
+            expected.append(entry[0])
+            entry[1] -= 1
+            if entry[1] > 0:
+                levels[level].append(entry)
+        assert order == expected
+
     @given(st.integers(1, 12))
     @settings(max_examples=10, deadline=None)
     def test_spawn_chains_terminate(self, depth):

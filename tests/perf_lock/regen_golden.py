@@ -1,0 +1,24 @@
+"""Regenerate the perf-lock goldens:
+
+    PYTHONPATH=src python -m tests.perf_lock.regen_golden
+
+Only run this when a *behavior* change is intended; a hot-path
+optimization must never need it.  The diff of the golden files then
+documents exactly which simulated fields moved.
+"""
+
+import json
+
+from .scenarios import GOLDEN_DIR, SCENARIOS, golden_path
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, fn in SCENARIOS.items():
+        path = golden_path(name)
+        path.write_text(json.dumps(fn(), indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()
