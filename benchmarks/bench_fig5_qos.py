@@ -37,14 +37,14 @@ def test_fig5_vod_pacing(sim_bench, capsys):
 def test_fig5_window_fc_backpressure(sim_bench):
     """The PDA profile: a window contract throttles a bulk sender to the
     consumer's pace (credits only return on consumption)."""
-    from repro.core import NcsRuntime
-    from repro.core.mps import ServiceMode
-    from repro.net import build_atm_cluster
+    from repro.config import ClusterSpec, ScenarioSpec, build_runtime
 
     def run():
-        cluster = build_atm_cluster(2)
-        rt = NcsRuntime(cluster, mode=ServiceMode.HSM, flow="window",
-                        flow_kwargs={"window_bytes": 32 * 1024})
+        _, rt = build_runtime(ScenarioSpec(
+            name="fig5-window-pda",
+            cluster=ClusterSpec(topology="atm-lan", n_hosts=2),
+            mode="hsm", flow="window",
+            flow_kwargs={"window_bytes": 32 * 1024}))
         done = {}
 
         def sender(ctx, rtid):

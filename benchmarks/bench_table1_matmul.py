@@ -14,9 +14,9 @@ to see the rendered table.
 
 import pytest
 
-from repro.apps import run_matmul_ncs, run_matmul_p4
 from repro.bench import paper_data as paper
 from repro.bench.report import ComparisonTable, TableRow
+from repro.bench.tables import run_cell
 
 CELLS = [(p, n) for p in ("ethernet", "nynet")
          for n in paper.TABLE_NODES["table1"][p]]
@@ -25,12 +25,12 @@ CELLS = [(p, n) for p in ("ethernet", "nynet")
 @pytest.mark.parametrize("platform,n_nodes", CELLS,
                          ids=[f"{p}-{n}n" for p, n in CELLS])
 def test_table1_cell(sim_bench, platform, n_nodes):
-    def run_cell():
-        rp = run_matmul_p4(platform, n_nodes, n=128)
-        rn = run_matmul_ncs(platform, n_nodes, n=128)
+    def run_pair():
+        rp = run_cell("matmul-p4", platform, n_nodes, n=128)
+        rn = run_cell("matmul-ncs", platform, n_nodes, n=128)
         return rp, rn
 
-    rp, rn = sim_bench(run_cell)
+    rp, rn = sim_bench(run_pair)
     assert rp.correct and rn.correct
     # calibration contract: the single-node rows anchor the model
     if n_nodes == 1:
@@ -51,8 +51,8 @@ def test_table1_full(sim_bench, capsys):
 
     def build():
         for platform, n in CELLS:
-            rp = run_matmul_p4(platform, n, n=128)
-            rn = run_matmul_ncs(platform, n, n=128)
+            rp = run_cell("matmul-p4", platform, n, n=128)
+            rn = run_cell("matmul-ncs", platform, n, n=128)
             table.add(TableRow(platform, n, rp.makespan_s, rn.makespan_s,
                                paper.TABLE1_P4[(platform, n)],
                                paper.TABLE1_NCS[(platform, n)]))

@@ -18,9 +18,9 @@ and our p4 column decreases instead.
 
 import pytest
 
-from repro.apps import run_jpeg_ncs, run_jpeg_p4
 from repro.bench import paper_data as paper
 from repro.bench.report import ComparisonTable, TableRow
+from repro.bench.tables import run_cell
 
 CELLS = [(p, n) for p in ("ethernet", "nynet")
          for n in paper.TABLE_NODES["table2"][p]]
@@ -29,12 +29,12 @@ CELLS = [(p, n) for p in ("ethernet", "nynet")
 @pytest.mark.parametrize("platform,n_nodes", CELLS,
                          ids=[f"{p}-{n}n" for p, n in CELLS])
 def test_table2_cell(sim_bench, platform, n_nodes):
-    def run_cell():
-        rp = run_jpeg_p4(platform, n_nodes)
-        rn = run_jpeg_ncs(platform, n_nodes)
+    def run_pair():
+        rp = run_cell("jpeg-p4", platform, n_nodes)
+        rn = run_cell("jpeg-ncs", platform, n_nodes)
         return rp, rn
 
-    rp, rn = sim_bench(run_cell)
+    rp, rn = sim_bench(run_pair)
     assert rp.correct and rn.correct
     improvement = (rp.makespan_s - rn.makespan_s) / rp.makespan_s
     assert improvement > 0.08, (
@@ -52,8 +52,8 @@ def test_table2_full(sim_bench, capsys):
 
     def build():
         for platform, n in CELLS:
-            rp = run_jpeg_p4(platform, n)
-            rn = run_jpeg_ncs(platform, n)
+            rp = run_cell("jpeg-p4", platform, n)
+            rn = run_cell("jpeg-ncs", platform, n)
             table.add(TableRow(platform, n, rp.makespan_s, rn.makespan_s,
                                paper.TABLE2_P4[(platform, n)],
                                paper.TABLE2_NCS[(platform, n)]))

@@ -13,9 +13,9 @@ Contract:
 
 import pytest
 
-from repro.apps import run_fft_ncs, run_fft_p4
 from repro.bench import paper_data as paper
 from repro.bench.report import ComparisonTable, TableRow
+from repro.bench.tables import run_cell
 
 CELLS = [(p, n) for p in ("ethernet", "nynet")
          for n in paper.TABLE_NODES["table3"][p]]
@@ -24,12 +24,12 @@ CELLS = [(p, n) for p in ("ethernet", "nynet")
 @pytest.mark.parametrize("platform,n_nodes", CELLS,
                          ids=[f"{p}-{n}n" for p, n in CELLS])
 def test_table3_cell(sim_bench, platform, n_nodes):
-    def run_cell():
-        rp = run_fft_p4(platform, n_nodes)
-        rn = run_fft_ncs(platform, n_nodes)
+    def run_pair():
+        rp = run_cell("fft-p4", platform, n_nodes)
+        rn = run_cell("fft-ncs", platform, n_nodes)
         return rp, rn
 
-    rp, rn = sim_bench(run_cell)
+    rp, rn = sim_bench(run_pair)
     assert rp.correct and rn.correct
     if n_nodes == 1:
         assert rp.makespan_s == pytest.approx(
@@ -43,8 +43,8 @@ def test_table3_full(sim_bench, capsys):
 
     def build():
         for platform, n in CELLS:
-            rp = run_fft_p4(platform, n)
-            rn = run_fft_ncs(platform, n)
+            rp = run_cell("fft-p4", platform, n)
+            rn = run_cell("fft-ncs", platform, n)
             table.add(TableRow(platform, n, rp.makespan_s, rn.makespan_s,
                                paper.TABLE3_P4[(platform, n)],
                                paper.TABLE3_NCS[(platform, n)]))

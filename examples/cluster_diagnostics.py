@@ -2,11 +2,13 @@
 """A tour of the observability surface: one workload, every signal.
 
 Runs the same NCS workload over the Approach-1 (p4/TCP) tier on Ethernet
-and over the HSM (ATM API) tier on the ATM LAN, then shows the three
-telemetry outputs the repo produces:
+and over the HSM (ATM API) tier on the ATM LAN — each declared as a
+scenario spec with tracing enabled through its ``[obs]`` table — then
+shows the three telemetry outputs the repo produces:
 
 * the cluster diagnostics report (every layer's counters, generated
-  from the metrics registry);
+  from the metrics registry, stamped with the scenario's name and
+  content digest);
 * a raw registry snapshot excerpt (the same numbers, queryable);
 * a Chrome trace (open it at https://ui.perfetto.dev or in
   chrome://tracing) and a JSONL span stream, written to a temp dir.
@@ -17,15 +19,24 @@ Run:  python examples/cluster_diagnostics.py
 import tempfile
 from pathlib import Path
 
-from repro import (
-    NcsRuntime, ServiceMode, build_atm_cluster, build_ethernet_cluster,
-)
+from repro.config import ClusterSpec, ObsSpec, ScenarioSpec, build_runtime
 from repro.diagnostics import cluster_report, render_report
 from repro.obs import export_chrome_trace, export_jsonl, iter_records
 
+SPECS = (
+    ("ethernet-p4", "Approach 1 (p4 over TCP, shared Ethernet)",
+     ScenarioSpec(name="diag-ethernet-p4",
+                  cluster=ClusterSpec(topology="ethernet", n_hosts=2),
+                  obs=ObsSpec(trace=True))),
+    ("atm-hsm", "High Speed Mode (ATM API, FORE switch)",
+     ScenarioSpec(name="diag-atm-hsm",
+                  cluster=ClusterSpec(topology="atm-lan", n_hosts=2),
+                  mode="hsm", obs=ObsSpec(trace=True))),
+)
 
-def run_workload(cluster, mode):
-    rt = NcsRuntime(cluster, mode=mode)
+
+def run_workload(spec):
+    cluster, rt = build_runtime(spec)
 
     def sender(ctx, rtid):
         for i in range(8):
@@ -38,7 +49,7 @@ def run_workload(cluster, mode):
     rtid = rt.t_create(1, receiver, name="sink")
     rt.t_create(0, sender, (rtid,), name="source")
     makespan = rt.run()
-    return rt, makespan
+    return cluster, rt, makespan
 
 
 def show_snapshot_excerpt(cluster) -> None:
@@ -65,14 +76,10 @@ def export_traces(cluster, out_dir: Path, tag: str) -> None:
 
 def main() -> None:
     out_dir = Path(tempfile.mkdtemp(prefix="repro-telemetry-"))
-    for tag, title, cluster, mode in (
-            ("ethernet-p4", "Approach 1 (p4 over TCP, shared Ethernet)",
-             build_ethernet_cluster(2, trace=True), ServiceMode.P4),
-            ("atm-hsm", "High Speed Mode (ATM API, FORE switch)",
-             build_atm_cluster(2, trace=True), ServiceMode.HSM)):
-        rt, makespan = run_workload(cluster, mode)
+    for tag, title, spec in SPECS:
+        cluster, rt, makespan = run_workload(spec)
         print(f"=== {title} — 8 x 24 KiB in {makespan * 1e3:.1f} ms ===")
-        print(render_report(cluster_report(cluster, rt)))
+        print(render_report(cluster_report(cluster, rt, scenario=spec)))
         show_snapshot_excerpt(cluster)
         export_traces(cluster, out_dir, tag)
         print()

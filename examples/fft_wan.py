@@ -1,27 +1,38 @@
 #!/usr/bin/env python
 """DIF FFT across the NYNET wide-area testbed (paper §5.3 + Fig 1).
 
-First reruns Table 3's LAN experiment, then stretches the same NCS FFT
-across the WAN (workers split between an upstate and a downstate site,
-crossing the DS-3 bottleneck) to show the §3 point the paper opens
-with: across a WAN the propagation delay dominates, and overlapping
-computation with communication is "the only viable approach".
+First reruns Table 3's LAN experiment (each cell a scenario spec over
+the registered ``fft-p4`` / ``fft-ncs`` drivers), then builds the Fig 1
+WAN from a declarative :class:`~repro.config.ClusterSpec` (one upstate
+host, one downstate host, the DS-3 in between) to show the §3 point the
+paper opens with: across a WAN the propagation delay dominates, and
+overlapping computation with communication is "the only viable
+approach".
 
 Run:  python examples/fft_wan.py
 """
 
 import numpy as np
 
-from repro.apps import run_fft_ncs, run_fft_p4
 from repro.apps.fft import dif_fft_reference, make_samples
-from repro.net import nynet_testbed
+from repro.config import (
+    AppSpec, ClusterSpec, ScenarioSpec, build_cluster, run_scenario,
+)
+
+WAN_CLUSTER = ClusterSpec(
+    topology="nynet-testbed",
+    options={"n_upstate": 1, "n_downstate": 1},
+)
 
 
 def lan_table() -> None:
     print("Table 3 (NYNET LAN): DIF FFT, M=512, 8 sample sets")
     for nodes in (1, 2, 4):
-        rp = run_fft_p4("nynet", nodes)
-        rn = run_fft_ncs("nynet", nodes)
+        params = {"platform": "nynet", "n_nodes": nodes}
+        rp = run_scenario(ScenarioSpec(
+            name=f"fft-p4-{nodes}n", app=AppSpec("fft-p4", params))).value
+        rn = run_scenario(ScenarioSpec(
+            name=f"fft-ncs-{nodes}n", app=AppSpec("fft-ncs", params))).value
         assert rp.correct and rn.correct
         print(f"  {nodes} nodes: p4 {rp.makespan_s:.2f}s, "
               f"NCS {rn.makespan_s:.2f}s")
@@ -30,7 +41,7 @@ def lan_table() -> None:
 
 def wan_latency() -> None:
     print("WAN reality check (paper §3, citing Kleinrock):")
-    cluster = nynet_testbed(1, 1)
+    cluster = build_cluster(WAN_CLUSTER)
     vc = cluster.hsm_vc(0, 1)
     prop = sum(ch.spec.prop_delay_s for ch in vc.hops)
     bottleneck = min(ch.spec.bandwidth_bps for ch in vc.hops)

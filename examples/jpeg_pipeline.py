@@ -6,12 +6,19 @@ where half the workers compress and half decompress, comparing the
 single-threaded p4 pipeline against the two-thread NCS pipeline and
 reporting the reconstruction quality.
 
+Both variants are declared as scenario specs over the registered
+``jpeg-p4`` / ``jpeg-ncs`` app drivers, with tracing switched on
+through the spec's ``[obs]`` table so the Fig 16 idle-share analysis
+can read the span timelines afterwards.
+
 Run:  python examples/jpeg_pipeline.py
 """
 
-from repro.apps import run_jpeg_ncs, run_jpeg_p4
 from repro.apps.jpeg import benchmark_image, compress, decompress, psnr
+from repro.config import AppSpec, ObsSpec, ScenarioSpec, run_scenario
 from repro.sim import Activity
+
+TRACED = ObsSpec(trace=True)
 
 
 def main() -> None:
@@ -24,8 +31,13 @@ def main() -> None:
           f"PSNR {psnr(image, decompress(comp)):.1f} dB\n")
 
     for nodes in (2, 4):
-        rp = run_jpeg_p4("nynet", nodes, trace=True)
-        rn = run_jpeg_ncs("nynet", nodes, trace=True)
+        params = {"platform": "nynet", "n_nodes": nodes}
+        rp = run_scenario(ScenarioSpec(
+            name=f"jpeg-p4-{nodes}n", obs=TRACED,
+            app=AppSpec("jpeg-p4", params))).value
+        rn = run_scenario(ScenarioSpec(
+            name=f"jpeg-ncs-{nodes}n", obs=TRACED,
+            app=AppSpec("jpeg-ncs", params))).value
         imp = (rp.makespan_s - rn.makespan_s) / rp.makespan_s * 100
         print(f"{nodes} nodes (NYNET): p4 {rp.makespan_s:.2f}s  "
               f"NCS {rn.makespan_s:.2f}s  -> {imp:.1f}% improvement "

@@ -5,12 +5,20 @@ Runs the paper's matrix-multiplication experiment (Figs 13/14) on the
 SUN/Ethernet and SUN/ATM(NYNET) clusters, printing execution times and
 the % improvement column of Table 1.
 
+Each cell is one scenario: a base :class:`~repro.config.ScenarioSpec`
+per variant (the ``matmul-p4`` / ``matmul-ncs`` registered app
+drivers), swept across the table with ``with_app_params`` — the same
+specs ``scenarios/table1_matmul.toml`` holds in TOML form.
+
 Run:  python examples/matmul_cluster.py [n]
 """
 
 import sys
 
-from repro.apps import run_matmul_ncs, run_matmul_p4
+from repro.config import AppSpec, ScenarioSpec, run_scenario
+
+P4_BASE = ScenarioSpec(name="table1-p4", app=AppSpec("matmul-p4"))
+NCS_BASE = ScenarioSpec(name="table1-ncs", app=AppSpec("matmul-ncs"))
 
 
 def main(n: int = 128) -> None:
@@ -23,8 +31,9 @@ def main(n: int = 128) -> None:
     for platform, node_counts in (("ethernet", (1, 2, 4)),
                                   ("nynet", (1, 2, 4))):
         for nodes in node_counts:
-            rp = run_matmul_p4(platform, nodes, n=n)
-            rn = run_matmul_ncs(platform, nodes, n=n)
+            cell = dict(platform=platform, n_nodes=nodes, n=n)
+            rp = run_scenario(P4_BASE.with_app_params(**cell)).value
+            rn = run_scenario(NCS_BASE.with_app_params(**cell)).value
             assert rp.correct and rn.correct, "wrong product!"
             imp = (rp.makespan_s - rn.makespan_s) / rp.makespan_s * 100
             print(f"{platform:<10}{nodes:>6}{rp.makespan_s:>10.2f}"

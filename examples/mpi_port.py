@@ -9,18 +9,27 @@ without any change."
 This example is a classic MPI program — scatter rows, broadcast B,
 multiply locally, gather C, allreduce a checksum — written purely
 against the MPI filter surface.  The same function body runs unchanged
-over all three NCS transports (Approach-1 p4, NSM sockets, HSM ATM API).
+over all three NCS transports: the service mode is just a registered
+transport name in the scenario spec, so sweeping the tiers is
+``SPEC.replace(mode=...)``.
 
 Run:  python examples/mpi_port.py
 """
 
 import numpy as np
 
-from repro import NcsRuntime, ServiceMode, build_atm_cluster
+from repro.config import ClusterSpec, ScenarioSpec, build_runtime
 from repro.core.mps import MpiFilter
 
 N = 64
 RANKS = 4
+
+SPEC = ScenarioSpec(
+    name="mpi-port",
+    description="MPI-filter matmul on a 4-host ATM LAN",
+    cluster=ClusterSpec(topology="atm-lan", n_hosts=RANKS),
+    barriers={0: RANKS},
+)
 
 
 def mpi_program(ctx):
@@ -50,10 +59,8 @@ def mpi_program(ctx):
     return None, checksum
 
 
-def run(mode: ServiceMode) -> None:
-    cluster = build_atm_cluster(RANKS)
-    rt = NcsRuntime(cluster, mode=mode)
-    rt.register_barrier(0, parties=RANKS)
+def run(mode: str) -> None:
+    _, rt = build_runtime(SPEC.replace(mode=mode))
     tids = [rt.t_create(r, mpi_program, name=f"rank{r}")
             for r in range(RANKS)]
     makespan = rt.run()
@@ -64,13 +71,13 @@ def run(mode: ServiceMode) -> None:
     assert abs(checksum - np.sum(C)) < 1e-6 * max(1.0, abs(np.sum(C)))
     checks = [rt.thread_result(r, tids[r])[1] for r in range(RANKS)]
     assert all(abs(c - checksum) < 1e-9 for c in checks)
-    print(f"  {mode.value:>4}: correct product, allreduce checksum "
+    print(f"  {mode:>4}: correct product, allreduce checksum "
           f"{checksum:+.3f}, makespan {makespan * 1e3:.1f} ms")
 
 
 def main() -> None:
     print(f"MPI-filter matmul ({N}x{N}, {RANKS} ranks) on every NCS tier:")
-    for mode in (ServiceMode.P4, ServiceMode.NSM, ServiceMode.HSM):
+    for mode in ("p4", "nsm", "hsm"):
         run(mode)
     print("same program text, three transports — the Fig 6 filter promise.")
 

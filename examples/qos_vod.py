@@ -6,37 +6,57 @@ runtime model; each picks the flow-control mechanism that suits it
 ("the one that best suites a given application can be invoked
 dynamically at runtime"):
 
-* the VOD stream uses the **rate-based** FC thread (leaky bucket) and
-  gets smooth, contract-paced frame delivery;
-* the bulk application uses the **window-based** FC thread and gets
+* the VOD stream declares ``flow = "rate"`` (the leaky-bucket FC
+  thread) and gets smooth, contract-paced frame delivery;
+* the bulk application declares ``flow = "window"`` and gets
   consumer-paced backpressure instead of unbounded buffering.
+
+Both are expressed as scenario specs: the flow-control policy is just a
+registered name plus its keyword arguments (see ``python -m repro.run
+--list``), which is exactly how a TOML scenario selects it.
 
 Run:  python examples/qos_vod.py
 """
 
 import numpy as np
 
-from repro import NcsRuntime, ServiceMode, build_atm_cluster
-from repro.core.mps import QosContract, flow_control_for
+from repro.config import ClusterSpec, ScenarioSpec, build_runtime
+
+FRAME_BYTES, FPS, N_FRAMES = 32 * 1024, 30, 60
+
+VOD_SPEC = ScenarioSpec(
+    name="vod-rate-fc",
+    description="contract-paced video stream over ATM HSM",
+    cluster=ClusterSpec(topology="atm-lan", n_hosts=2),
+    mode="hsm",
+    flow="rate",
+    flow_kwargs={"rate_bytes_s": FRAME_BYTES * FPS,
+                 "bucket_bytes": FRAME_BYTES},
+)
+
+BULK_SPEC = ScenarioSpec(
+    name="bulk-window-fc",
+    description="window backpressure for a bulk producer",
+    cluster=ClusterSpec(topology="atm-lan", n_hosts=2),
+    mode="hsm",
+    flow="window",
+    flow_kwargs={"window_bytes": 128 * 1024},
+)
 
 
 def vod_stream() -> None:
-    frame_bytes, fps, n_frames = 32 * 1024, 30, 60
-    contract = QosContract(name="vod", rate_bytes_s=frame_bytes * fps,
-                           burst_bytes=frame_bytes)
-    print(f"VOD contract: {fps} fps x {frame_bytes // 1024} KiB frames "
-          f"({contract.rate_bytes_s * 8 / 1e6:.1f} Mbps), "
-          f"FC = {flow_control_for(contract).name}")
-    cluster = build_atm_cluster(2)
-    rt = NcsRuntime(cluster, mode=ServiceMode.HSM, flow=contract)
+    print(f"VOD contract: {FPS} fps x {FRAME_BYTES // 1024} KiB frames "
+          f"({FRAME_BYTES * FPS * 8 / 1e6:.1f} Mbps), "
+          f"FC = {VOD_SPEC.flow!r} {VOD_SPEC.flow_kwargs}")
+    _, rt = build_runtime(VOD_SPEC)
     arrivals = []
 
     def camera(ctx, sink_tid):
-        for i in range(n_frames):
-            yield ctx.send(sink_tid, 1, f"frame-{i}", frame_bytes)
+        for i in range(N_FRAMES):
+            yield ctx.send(sink_tid, 1, f"frame-{i}", FRAME_BYTES)
 
     def display(ctx):
-        for _ in range(n_frames):
+        for _ in range(N_FRAMES):
             yield ctx.recv()
             arrivals.append(ctx.now)
 
@@ -44,17 +64,16 @@ def vod_stream() -> None:
     rt.t_create(0, camera, (sink,), name="camera")
     rt.run()
     gaps = np.diff(arrivals) * 1e3
-    print(f"  delivered {n_frames} frames; inter-arrival "
+    print(f"  delivered {N_FRAMES} frames; inter-arrival "
           f"{gaps.mean():.2f} +/- {gaps.std():.2f} ms "
-          f"(contract period {1000 / fps:.2f} ms)\n")
+          f"(contract period {1000 / FPS:.2f} ms)\n")
 
 
 def bulk_pda() -> None:
-    contract = QosContract(name="pda", window_bytes=128 * 1024)
-    print(f"Bulk PDA contract: window {contract.window_bytes // 1024} KiB, "
-          f"FC = {flow_control_for(contract).name}")
-    cluster = build_atm_cluster(2)
-    rt = NcsRuntime(cluster, mode=ServiceMode.HSM, flow=contract)
+    print(f"Bulk PDA contract: window "
+          f"{BULK_SPEC.flow_kwargs['window_bytes'] // 1024} KiB, "
+          f"FC = {BULK_SPEC.flow!r}")
+    _, rt = build_runtime(BULK_SPEC)
     stats = {}
 
     def producer(ctx, sink_tid):

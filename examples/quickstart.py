@@ -1,22 +1,29 @@
 #!/usr/bin/env python
 """Quickstart: the Fig 10 generic NCS program model.
 
-Builds a two-workstation ATM cluster, brings up NCS (``NCS_init`` ->
-system threads; ``NCS_t_create``; ``NCS_start``), and runs a pair of
-threads per node exchanging messages while a third thread computes —
-demonstrating the non-blocking (thread-blocking) sends and receives and
-the computation/communication overlap the paper is about.
+Declares a two-workstation ATM cluster in High Speed Mode as a
+:class:`~repro.config.ScenarioSpec` — the same declarative form the
+checked-in ``scenarios/*.toml`` files load into — builds it, and runs a
+pair of threads per node exchanging messages while a third thread
+computes: the non-blocking (thread-blocking) sends and receives and the
+computation/communication overlap the paper is about.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import NcsRuntime, ServiceMode, build_atm_cluster
+from repro.config import ClusterSpec, ScenarioSpec, build_runtime
+
+SPEC = ScenarioSpec(
+    name="quickstart-hsm",
+    description="two ATM workstations, NCS High Speed Mode",
+    cluster=ClusterSpec(topology="atm-lan", n_hosts=2),
+    mode="hsm",
+)
 
 
 def main() -> None:
-    # --- NCS_init: a 2-host ATM LAN and an NCS runtime over the ATM API
-    cluster = build_atm_cluster(2)
-    runtime = NcsRuntime(cluster, mode=ServiceMode.HSM)
+    # --- NCS_init: materialize the spec into a cluster + NCS runtime
+    cluster, runtime = build_runtime(SPEC)
     tids = {}
 
     # --- thread bodies are generators; each yield is an NCS primitive
@@ -51,6 +58,7 @@ def main() -> None:
 
     # --- results
     frames = runtime.thread_result(1, tids["consumer"])
+    print(f"scenario {SPEC.name!r} [{SPEC.digest()}] on {cluster.medium}:")
     print(f"consumer received frames: {frames}")
     print(f"background thread computed "
           f"{runtime.thread_result(1, tids['compute']) * 1e3:.0f} ms of work "

@@ -17,6 +17,7 @@ from typing import Optional
 from ..hosts import SUN_ELC, SUN_IPX
 from ..net import Cluster, build_atm_cluster, build_ethernet_cluster
 from ..protocols import TcpParams
+from ..registry import TOPOLOGIES
 from .costs import AppCosts, ELC_COSTS, IPX_COSTS
 
 __all__ = ["PLATFORMS", "AppResult", "build_platform_cluster",
@@ -75,6 +76,20 @@ def build_platform_cluster(platform: str, n_hosts: int,
                                  seed=seed, **kw)
     raise ValueError(f"unknown platform {platform!r}; "
                      f"expected one of {PLATFORMS}")
+
+
+@TOPOLOGIES.register(
+    "platform-ethernet",
+    help="Benchmark platform: SPARC ELCs + 1995 SunOS TCP on Ethernet")
+def _build_platform_ethernet(n_hosts: int, **kw) -> Cluster:
+    return build_platform_cluster("ethernet", n_hosts, **kw)
+
+
+@TOPOLOGIES.register(
+    "platform-nynet",
+    help="Benchmark platform: SPARC IPXs + FORE-tuned TCP on the ATM LAN")
+def _build_platform_nynet(n_hosts: int, **kw) -> Cluster:
+    return build_platform_cluster("nynet", n_hosts, **kw)
 
 
 def run_p4_programs(cluster: Cluster, procs,

@@ -1,0 +1,204 @@
+"""Registered app drivers: the `[app]` table of a scenario file.
+
+A driver is a callable ``driver(run) -> value`` where ``run`` is a
+:class:`repro.config.ScenarioRun`.  Two styles exist:
+
+* **Self-contained drivers** — the paper's three applications
+  (``matmul``/``jpeg``/``fft`` in their p4 and NCS variants).  These
+  build their own benchmark-platform cluster exactly as the Tables 1-3
+  harnesses always have; the scenario's ``[app.params]`` map straight
+  onto the ``run_*`` keyword arguments, the ``[runtime]`` table supplies
+  mode/flow/error where the variant supports them, and ``obs.trace``
+  feeds the app's ``trace`` flag.
+
+* **Runtime drivers** — micro-benchmark bodies (``pingpong``, ``ring``,
+  ``stream``) that ask ``run`` for the spec-built cluster/runtime (with
+  faults armed and barriers registered) and create NCS threads on it.
+  Their bodies are byte-for-byte the hand-wired loops the perf-lock
+  goldens were captured from, which is what the spec-equivalence tests
+  in ``tests/config`` assert.
+"""
+
+from __future__ import annotations
+
+from ..core.api import ServiceMode
+from ..registry import APP_DRIVERS
+from . import (run_fft_ncs, run_fft_p4, run_jpeg_ncs, run_jpeg_p4,
+               run_matmul_ncs, run_matmul_p4)
+
+__all__ = []  # everything is reached through the APP_DRIVERS registry
+
+
+def _mode(spec_mode):
+    """The spec's runtime mode as the enum the app signatures take."""
+    return ServiceMode(spec_mode) if isinstance(spec_mode, str) else spec_mode
+
+
+def _app_params(run) -> dict:
+    p = dict(run.params)
+    p.setdefault("trace", run.spec.obs.trace)
+    return p
+
+
+def _no_runtime_table(run, *fields):
+    """Self-contained drivers that can't honor a runtime field reject it
+    loudly instead of silently ignoring the spec."""
+    spec = run.spec
+    for f in fields:
+        if getattr(spec, f) or getattr(spec, f + "_kwargs", None):
+            raise ValueError(
+                f"driver {spec.app.driver!r} does not support runtime."
+                f"{f}; drop it from the scenario or pick the matching "
+                "app parameter")
+    if spec.barriers:
+        raise ValueError(
+            f"driver {spec.app.driver!r} manages its own synchronization; "
+            "runtime.barriers is not supported")
+    if spec.faults is not None:
+        raise ValueError(
+            f"driver {spec.app.driver!r} builds its own cluster; declare "
+            "faults via a runtime driver scenario instead")
+
+
+@APP_DRIVERS.register(
+    "matmul-p4", help="Fig 13 matrix multiply, single-threaded p4 processes")
+def _matmul_p4(run):
+    _no_runtime_table(run, "flow", "error")
+    return run_matmul_p4(**_app_params(run))
+
+
+@APP_DRIVERS.register(
+    "matmul-ncs", help="Fig 14 matrix multiply, multithreaded NCS")
+def _matmul_ncs(run):
+    _no_runtime_table(run)
+    spec = run.spec
+    return run_matmul_ncs(mode=_mode(spec.mode), flow=spec.flow,
+                          error=spec.error,
+                          error_kwargs=dict(spec.error_kwargs) or None,
+                          **_app_params(run))
+
+
+@APP_DRIVERS.register(
+    "jpeg-p4", help="Fig 15 JPEG pipeline, single-threaded p4 processes")
+def _jpeg_p4(run):
+    _no_runtime_table(run, "flow", "error")
+    return run_jpeg_p4(**_app_params(run))
+
+
+@APP_DRIVERS.register(
+    "jpeg-ncs", help="Figs 16-18 JPEG pipeline, multithreaded NCS")
+def _jpeg_ncs(run):
+    _no_runtime_table(run, "flow", "error")
+    return run_jpeg_ncs(mode=_mode(run.spec.mode), **_app_params(run))
+
+
+@APP_DRIVERS.register(
+    "fft-p4", help="Fig 19 distributed FFT, single-threaded p4 processes")
+def _fft_p4(run):
+    _no_runtime_table(run, "flow", "error")
+    return run_fft_p4(**_app_params(run))
+
+
+@APP_DRIVERS.register(
+    "fft-ncs", help="Figs 20-21 distributed FFT, multithreaded NCS")
+def _fft_ncs(run):
+    _no_runtime_table(run, "flow", "error")
+    return run_fft_ncs(mode=_mode(run.spec.mode), **_app_params(run))
+
+
+@APP_DRIVERS.register(
+    "pingpong",
+    help="Two-host request/reply over the full MPS datapath")
+def _pingpong(run):
+    """The perf-lock ``pingpong_ethernet`` body, parameterized."""
+    p = run.params
+    messages = int(p.get("messages", 30))
+    nbytes = int(p.get("nbytes", 2048))
+    data_tag = int(p.get("data_tag", 1))
+    reply_tag = int(p.get("reply_tag", 2))
+    rt = run.runtime
+    replies = []
+
+    def pong(ctx):
+        for _ in range(messages):
+            m = yield ctx.recv(tag=data_tag)
+            yield ctx.send(m.from_thread, m.from_process,
+                           ("pong", m.data[1]), nbytes, tag=reply_tag)
+
+    def ping(ctx, peer):
+        for i in range(messages):
+            yield ctx.send(peer, 1, ("ping", i), nbytes, tag=data_tag)
+            r = yield ctx.recv(tag=reply_tag)
+            replies.append(r.data[1])
+
+    peer = rt.t_create(1, pong, name="pong")
+    rt.t_create(0, ping, (peer,), name="ping")
+    makespan = rt.run()
+    return {"makespan_s": makespan, "messages": messages,
+            "replies": replies}
+
+
+@APP_DRIVERS.register(
+    "ring",
+    help="All-hosts ring exchange + barrier (the chaos-suite workload)")
+def _ring(run):
+    """The perf-lock ``ring_atm_hsm``/``chaos_loss`` body, parameterized.
+
+    Uses every host in the spec-built cluster; declare the closing
+    barrier in the scenario (``[runtime.barriers] 0 = n_hosts``)."""
+    p = run.params
+    rounds = int(p.get("rounds", 2))
+    nbytes = int(p.get("nbytes", 4096))
+    tag_base = int(p.get("tag_base", 10))
+    barrier_id = int(p.get("barrier", 0))
+    rt = run.runtime
+    n = run.cluster.n_hosts
+    received = {pid: [] for pid in range(n)}
+
+    def body(ctx, pid):
+        nxt, prev = (pid + 1) % n, (pid - 1) % n
+        for r in range(rounds):
+            yield ctx.send(-1, nxt, (pid, r), nbytes, tag=r + tag_base)
+            msg = yield ctx.recv(from_process=prev, tag=r + tag_base)
+            received[pid].append(msg.data)
+        yield ctx.barrier(barrier_id)
+
+    for pid in range(n):
+        rt.t_create(pid, body, (pid,), name=f"ring{pid}")
+    makespan = rt.run()
+    return {"makespan_s": makespan, "rounds": rounds,
+            "received": {str(k): v for k, v in received.items()}}
+
+
+@APP_DRIVERS.register(
+    "stream",
+    help="One-way producer/consumer stream (the Fig 5 QoS workload)")
+def _stream(run):
+    """Host 0 streams ``frames`` messages of ``nbytes`` to host 1, which
+    takes ``consumer_sleep`` seconds per frame — the mismatch that flow
+    control (``runtime.flow``) exists to absorb."""
+    p = run.params
+    frames = int(p.get("frames", 30))
+    nbytes = int(p.get("nbytes", 32 * 1024))
+    consumer_sleep = float(p.get("consumer_sleep", 0.0))
+    tag = int(p.get("tag", 7))
+    rt = run.runtime
+    latencies = []
+
+    def consumer(ctx):
+        for _ in range(frames):
+            m = yield ctx.recv(tag=tag)
+            latencies.append(rt.cluster.sim.now - m.data[1])
+            if consumer_sleep:
+                yield ctx.sleep(consumer_sleep)
+
+    def producer(ctx, peer):
+        for i in range(frames):
+            yield ctx.send(peer, 1, (i, rt.cluster.sim.now), nbytes, tag=tag)
+
+    peer = rt.t_create(1, consumer, name="consumer")
+    rt.t_create(0, producer, (peer,), name="producer")
+    makespan = rt.run()
+    return {"makespan_s": makespan, "frames": frames,
+            "mean_latency_s": sum(latencies) / len(latencies),
+            "max_latency_s": max(latencies)}

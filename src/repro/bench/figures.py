@@ -165,14 +165,17 @@ def fig5_qos(n_frames: int = 30, frame_bytes: int = 32 * 1024,
     """A VOD-style stream under rate FC vs no FC: arrival regularity
     (jitter) and achieved rate — the Fig 5 'different applications need
     different flow control' point."""
+    from ..config import ClusterSpec, ScenarioSpec, build_runtime
     out = {}
     for label, flow, kwargs in (
             ("rate-fc", "rate", {"rate_bytes_s": rate_bytes_s,
                                  "bucket_bytes": frame_bytes}),
             ("no-fc", None, {})):
-        cluster = build_atm_cluster(2, params=SUN_IPX)
-        rt = NcsRuntime(cluster, mode=ServiceMode.HSM, flow=flow,
-                        flow_kwargs=kwargs)
+        spec = ScenarioSpec(
+            name=f"fig5-{label}",
+            cluster=ClusterSpec(topology="atm-lan", n_hosts=2),
+            mode="hsm", flow=flow, flow_kwargs=kwargs)
+        cluster, rt = build_runtime(spec)
         arrivals = []
 
         def src(ctx, rtid):
@@ -203,8 +206,11 @@ def fig5_qos(n_frames: int = 30, frame_bytes: int = 32 * 1024,
 # ---------------------------------------------------------------------------
 
 def _one_way(mode: ServiceMode, nbytes: int, repeats: int = 5) -> float:
-    cluster = build_atm_cluster(2, params=SUN_IPX)
-    rt = NcsRuntime(cluster, mode=mode)
+    from ..config import ClusterSpec, ScenarioSpec, build_runtime
+    _, rt = build_runtime(ScenarioSpec(
+        name=f"fig6-{mode.value}-{nbytes}b",
+        cluster=ClusterSpec(topology="atm-lan", n_hosts=2),
+        mode=mode.value))
     times = []
     tids: dict[str, int] = {}
 

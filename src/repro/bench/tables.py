@@ -4,30 +4,48 @@ Each ``tableN()`` runs every (platform, node-count) cell the paper
 reports, for both the p4 baseline and NCS_MTS/p4, and returns a
 :class:`~repro.bench.report.ComparisonTable` with the paper's own
 numbers alongside.  ``python -m repro.bench`` prints all three.
+
+Every cell is one declarative scenario: :func:`run_cell` builds a
+:class:`~repro.config.ScenarioSpec` over the registered app driver
+(``matmul-p4``, ``jpeg-ncs``, ...) and runs it through
+:func:`~repro.config.run_scenario` — the same path as the checked-in
+``scenarios/*.toml`` files and ``python -m repro.run``.
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
-from ..apps import (
-    run_fft_ncs, run_fft_p4, run_jpeg_ncs, run_jpeg_p4,
-    run_matmul_ncs, run_matmul_p4,
-)
+from ..config import AppSpec, ScenarioSpec, run_scenario
 from . import paper_data as paper
 from .report import ComparisonTable, TableRow
 
-__all__ = ["table1", "table2", "table3", "all_tables"]
+__all__ = ["run_cell", "cell_spec", "table1", "table2", "table3",
+           "all_tables"]
 
 
-def _build(title: str, run_p4: Callable, run_ncs: Callable,
+def cell_spec(driver: str, platform: str, n_nodes: int,
+              **params) -> ScenarioSpec:
+    """The scenario for one table cell."""
+    return ScenarioSpec(
+        name=f"{driver}-{platform}-{n_nodes}n",
+        app=AppSpec(driver, {"platform": platform, "n_nodes": n_nodes,
+                             **params}))
+
+
+def run_cell(driver: str, platform: str, n_nodes: int, **params):
+    """Run one table cell via the scenario layer; returns the
+    :class:`~repro.apps.AppResult`."""
+    return run_scenario(cell_spec(driver, platform, n_nodes,
+                                  **params)).value
+
+
+def _build(title: str, p4_driver: str, ncs_driver: str,
            p4_ref: dict, ncs_ref: dict, nodes_by_platform: dict,
-           platforms=("ethernet", "nynet")) -> ComparisonTable:
+           platforms=("ethernet", "nynet"), **params) -> ComparisonTable:
     table = ComparisonTable(title)
     for platform in platforms:
         for n in nodes_by_platform[platform]:
-            rp = run_p4(platform, n)
-            rn = run_ncs(platform, n)
+            rp = run_cell(p4_driver, platform, n, **params)
+            rn = run_cell(ncs_driver, platform, n, **params)
             if not (rp.correct and rn.correct):
                 raise AssertionError(
                     f"{title}: wrong application result at "
@@ -42,16 +60,16 @@ def table1(n: int = 128) -> ComparisonTable:
     """Table 1: distributed matrix multiplication (128x128)."""
     return _build(
         "Table 1: Execution times of Matrix Multiplication (seconds)",
-        lambda p, k: run_matmul_p4(p, k, n=n),
-        lambda p, k: run_matmul_ncs(p, k, n=n),
-        paper.TABLE1_P4, paper.TABLE1_NCS, paper.TABLE_NODES["table1"])
+        "matmul-p4", "matmul-ncs",
+        paper.TABLE1_P4, paper.TABLE1_NCS, paper.TABLE_NODES["table1"],
+        n=n)
 
 
 def table2() -> ComparisonTable:
     """Table 2: JPEG compression/decompression pipeline (600 KB image)."""
     return _build(
         "Table 2: Total execution times of JPEG (seconds)",
-        run_jpeg_p4, run_jpeg_ncs,
+        "jpeg-p4", "jpeg-ncs",
         paper.TABLE2_P4, paper.TABLE2_NCS, paper.TABLE_NODES["table2"])
 
 
@@ -59,9 +77,9 @@ def table3(m: int = 512, n_sets: int = 8) -> ComparisonTable:
     """Table 3: DIF FFT (M=512, 8 sample sets)."""
     return _build(
         "Table 3: Execution times of FFT (seconds)",
-        lambda p, k: run_fft_p4(p, k, m=m, n_sets=n_sets),
-        lambda p, k: run_fft_ncs(p, k, m=m, n_sets=n_sets),
-        paper.TABLE3_P4, paper.TABLE3_NCS, paper.TABLE_NODES["table3"])
+        "fft-p4", "fft-ncs",
+        paper.TABLE3_P4, paper.TABLE3_NCS, paper.TABLE_NODES["table3"],
+        m=m, n_sets=n_sets)
 
 
 def all_tables() -> list[ComparisonTable]:

@@ -1,0 +1,200 @@
+"""Turn specs into running simulations.
+
+The construction pipeline every example, benchmark and ``python -m
+repro.run`` invocation now shares::
+
+    ScenarioSpec
+        -> build_cluster()     TOPOLOGIES[spec.cluster.topology](...)
+        -> build_runtime()     NcsRuntime(mode/flow/error by name)
+                               + declared barriers
+        -> build_fault_plan()  FaultSpec -> FaultPlan, armed via
+                               FaultInjector
+        -> run_scenario()      APP_DRIVERS[spec.app.driver](run)
+                               + ObsSpec exports
+
+Everything resolves through :mod:`repro.registry`, and the composition
+is *exactly* the calls the hand-wired experiments used to make — the
+golden-equality tests in ``tests/config`` hold a spec-built run to
+bit-identical timestamps, traces and metrics against the committed
+``tests/perf_lock`` goldens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..registry import APP_DRIVERS, TOPOLOGIES
+from .spec import ClusterSpec, ObsSpec, ScenarioSpec, SpecError
+
+__all__ = ["ensure_components", "build_cluster", "build_fault_plan",
+           "build_runtime", "run_scenario", "ScenarioRun", "ScenarioResult"]
+
+_COMPONENT_MODULES = (
+    "repro.core.api",        # transports + flow/error controls (via mps)
+    "repro.net.topology",    # LAN builders
+    "repro.net.nynet",       # WAN builders
+    "repro.faults.plan",     # fault kinds
+    "repro.apps.drivers",    # app drivers (imports the apps themselves)
+)
+
+
+def ensure_components() -> None:
+    """Import every module that self-registers stock components.
+
+    Idempotent and cheap after the first call; third-party components
+    only need their own module imported before the spec that names
+    them is built.
+    """
+    import importlib
+    for mod in _COMPONENT_MODULES:
+        importlib.import_module(mod)
+
+
+def build_cluster(cluster: ClusterSpec, obs: ObsSpec = ObsSpec()):
+    """Build the cluster a spec describes via the topology registry.
+
+    Registered builders must accept ``seed``/``trace``/``metrics``
+    keyword arguments (and ``n_hosts`` where it applies); everything in
+    ``cluster.options`` is forwarded verbatim.
+    """
+    ensure_components()
+    builder = TOPOLOGIES.get(cluster.topology)
+    kw: dict[str, Any] = dict(cluster.options)
+    if cluster.n_hosts is not None:
+        kw["n_hosts"] = cluster.n_hosts
+    kw["seed"] = cluster.seed
+    kw["trace"] = obs.trace
+    kw["metrics"] = obs.metrics
+    try:
+        return builder(**kw)
+    except TypeError as e:
+        raise SpecError(
+            f"cluster.topology {cluster.topology!r} rejected its "
+            f"arguments: {e}") from None
+
+
+def build_fault_plan(spec: ScenarioSpec):
+    """The spec's :class:`~repro.faults.FaultPlan`, or None."""
+    ensure_components()
+    return None if spec.faults is None else spec.faults.to_plan()
+
+
+def build_runtime(spec: ScenarioSpec, cluster=None):
+    """Build ``(cluster, runtime)`` with faults armed, per the spec.
+
+    The construction order matches the hand-wired experiments the spec
+    layer replaced (runtime, then fault arming, then barriers), so a
+    spec-built run schedules bit-identically.
+    """
+    from ..core.api import NcsRuntime
+    if cluster is None:
+        cluster = build_cluster(spec.cluster, spec.obs)
+    runtime = NcsRuntime(cluster, mode=spec.mode,
+                         flow=spec.flow, error=spec.error,
+                         flow_kwargs=dict(spec.flow_kwargs),
+                         error_kwargs=dict(spec.error_kwargs))
+    plan = build_fault_plan(spec)
+    if plan is not None:
+        from ..faults.injector import FaultInjector
+        FaultInjector(cluster, plan, runtime=runtime).arm()
+    for barrier_id, parties in sorted(spec.barriers.items()):
+        runtime.register_barrier(barrier_id, parties)
+    return cluster, runtime
+
+
+class ScenarioRun:
+    """What an app driver receives: the spec, its params, and lazy
+    access to the spec-built cluster/runtime.
+
+    Self-contained drivers (the paper's table apps, which build their
+    own platform cluster) just read :attr:`params` and set
+    :attr:`cluster` from their result; runtime drivers access
+    :attr:`runtime`, create threads on it and run it.
+    """
+
+    def __init__(self, spec: ScenarioSpec):
+        self.spec = spec
+        self.params: dict[str, Any] = (
+            dict(spec.app.params) if spec.app is not None else {})
+        self.cluster = None
+        self._runtime = None
+
+    @property
+    def runtime(self):
+        """The spec-built :class:`~repro.core.api.NcsRuntime` (faults
+        armed, barriers registered), built on first access."""
+        if self._runtime is None:
+            self.cluster, self._runtime = build_runtime(self.spec,
+                                                        self.cluster)
+        return self._runtime
+
+
+@dataclass
+class ScenarioResult:
+    """What :func:`run_scenario` returns."""
+
+    spec: ScenarioSpec
+    value: Any                       # whatever the driver returned
+    cluster: Any = None
+    runtime: Any = None
+    exported: list = field(default_factory=list)   # files written per ObsSpec
+
+    def report(self) -> dict:
+        """The self-describing cluster diagnostics report."""
+        from ..diagnostics import cluster_report
+        if self.cluster is None:
+            raise SpecError(
+                f"scenario {self.spec.name!r}: driver "
+                f"{self.spec.app.driver!r} exposed no cluster to report on")
+        return cluster_report(self.cluster, self.runtime, scenario=self.spec)
+
+    def summary(self) -> dict:
+        """A small printable summary of the driver's return value."""
+        value = self.value
+        if isinstance(value, dict):
+            return {k: v for k, v in value.items()
+                    if isinstance(v, (int, float, str, bool))}
+        for attrs in (("app", "variant", "platform", "n_nodes",
+                       "makespan_s", "correct"),):
+            if all(hasattr(value, a) for a in attrs):   # AppResult-shaped
+                return {a: getattr(value, a) for a in attrs}
+        return {"value": repr(value)}
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Resolve the app driver, run it, export telemetry per the spec."""
+    ensure_components()
+    if spec.app is None:
+        raise SpecError(
+            f"scenario {spec.name!r} has no [app] table; nothing to run "
+            "(specs without an app can still be built via build_runtime)")
+    driver = APP_DRIVERS.get(spec.app.driver)
+    run = ScenarioRun(spec)
+    value = driver(run)
+    cluster = run.cluster
+    if cluster is None and getattr(value, "cluster", None) is not None:
+        cluster = value.cluster                      # AppResult-shaped
+    result = ScenarioResult(spec, value, cluster, run._runtime)
+    _export_obs(result)
+    return result
+
+
+def _export_obs(result: ScenarioResult) -> None:
+    obs = result.spec.obs
+    if not (obs.chrome_trace or obs.jsonl):
+        return
+    if result.cluster is None:
+        raise SpecError(
+            f"scenario {result.spec.name!r}: obs export requested but the "
+            f"driver exposed no cluster (set run.cluster in the driver)")
+    from ..obs import export_chrome_trace, export_jsonl
+    tracer = result.cluster.tracer
+    tracer.close_all()
+    if obs.chrome_trace:
+        export_chrome_trace(tracer, obs.chrome_trace,
+                            metrics=result.cluster.metrics)
+        result.exported.append(obs.chrome_trace)
+    if obs.jsonl:
+        export_jsonl(tracer, obs.jsonl)
+        result.exported.append(obs.jsonl)

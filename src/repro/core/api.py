@@ -27,13 +27,14 @@ from typing import Any, Callable, Generator, Optional
 
 from ..net.topology import Cluster
 from ..p4.api import P4Params
+from ..registry import TRANSPORTS
 from ..sim import SimProcess, SimulationError
 from .mts.scheduler import DEFAULT_PRIORITY, MtsScheduler
 from .mps.core import NcsMps
 from .mps.error_control import ErrorControl, MessageLost, make_error_control
 from .mps.flow_control import FlowControl, make_flow_control
 from .mps.qos import QosContract, ServiceMode, flow_control_for
-from .mps.transports import AtmTransport, NcsTransport, P4Transport, SocketTransport
+from .mps.transports import NcsTransport  # noqa: F401  (re-export surface)
 
 __all__ = ["NcsRuntime", "NcsNode"]
 
@@ -47,18 +48,17 @@ class NcsNode:
         cluster = runtime.cluster
         self.scheduler = MtsScheduler(cluster.process(pid))
         mode = runtime.mode
-        if mode is ServiceMode.P4:
-            transport: NcsTransport = P4Transport(cluster, pid,
-                                                  runtime.p4_params)
-        elif mode is ServiceMode.NSM:
-            transport = SocketTransport(cluster, pid)
-        elif mode is ServiceMode.HSM:
-            transport = AtmTransport(cluster, pid)
-        else:  # pragma: no cover - enum is closed
-            raise ValueError(f"unknown mode {mode}")
-        self.transport = transport
+        key = mode.value if isinstance(mode, ServiceMode) else mode
+        if key is None or not isinstance(key, str):
+            raise ValueError(
+                f"service mode must name a registered transport "
+                f"({', '.join(TRANSPORTS.names())}); got {mode!r}")
+        # unknown names raise UnknownNameError (a ValueError) listing
+        # the registered transports
+        factory = TRANSPORTS.get(key)
+        self.transport: NcsTransport = factory(runtime, pid)
         self.mps = NcsMps(
-            self.scheduler, cluster, transport,
+            self.scheduler, cluster, self.transport,
             flow_control=runtime.make_fc(),
             error_control=runtime.make_ec())
 
@@ -75,7 +75,15 @@ class NcsRuntime:
                  error_kwargs: Optional[dict] = None):
         self.cluster = cluster
         self.sim = cluster.sim
-        self.mode = ServiceMode(mode) if isinstance(mode, str) else mode
+        if isinstance(mode, str):
+            try:
+                mode = ServiceMode(mode)
+            except ValueError:
+                # not one of the paper's three tiers: keep the string and
+                # let the transport registry resolve (or reject) it, so
+                # third-party transports plug in by name alone
+                pass
+        self.mode = mode
         self.p4_params = p4_params or P4Params()
         self._flow_spec = flow
         self._error_spec = error

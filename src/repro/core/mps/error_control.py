@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from ...registry import ERROR_CONTROLS
 from ...sim import Event
 from ..mts import ops
 
@@ -81,12 +82,14 @@ class ErrorControl:
         return None
 
 
+@ERROR_CONTROLS.register("none")
 class NoErrorControl(ErrorControl):
     """Trust the transport (TCP, or an error-free fabric)."""
 
     name = "none"
 
 
+@ERROR_CONTROLS.register("ack")
 class AckRetransmitErrorControl(ErrorControl):
     """Positive-ack + timeout retransmission at message level."""
 
@@ -185,11 +188,13 @@ class AckRetransmitErrorControl(ErrorControl):
 
 def make_error_control(spec: Optional[str | ErrorControl],
                        **kwargs) -> ErrorControl:
-    """``NCS_init(..., error)``: resolve a strategy by name."""
-    if spec is None or spec == "none":
+    """``NCS_init(..., error)``: resolve a strategy by registered name.
+
+    Unknown names fail with the list of registered policies; new
+    policies plug in via ``@ERROR_CONTROLS.register("name")``.
+    """
+    if spec is None:
         return NoErrorControl()
     if isinstance(spec, ErrorControl):
         return spec
-    if spec == "ack":
-        return AckRetransmitErrorControl(**kwargs)
-    raise ValueError(f"unknown error control {spec!r}")
+    return ERROR_CONTROLS.get(spec)(**kwargs)

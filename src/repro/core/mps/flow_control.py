@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Optional
 
+from ...registry import FLOW_CONTROLS
 from ...sim import Event, Simulator
 from ..mts import ops
 
@@ -65,6 +66,7 @@ class FlowControl:
         return None
 
 
+@FLOW_CONTROLS.register("none")
 class NoFlowControl(FlowControl):
     """Fire at will (the default; TCP below provides its own limits)."""
 
@@ -74,6 +76,7 @@ class NoFlowControl(FlowControl):
         return None
 
 
+@FLOW_CONTROLS.register("window")
 class WindowFlowControl(FlowControl):
     """At most ``window_bytes`` of un-credited data per destination.
 
@@ -147,6 +150,7 @@ class WindowFlowControl(FlowControl):
         return body
 
 
+@FLOW_CONTROLS.register("rate")
 class RateFlowControl(FlowControl):
     """Leaky-bucket pacing: ``rate_bytes_s`` sustained, ``bucket_bytes``
     burst — the VOD-style contract of Fig 5."""
@@ -217,18 +221,16 @@ class RateFlowControl(FlowControl):
 
 def make_flow_control(spec: Optional[str | FlowControl],
                       **kwargs) -> FlowControl:
-    """``NCS_init(flow, ...)``: resolve a strategy by name.
+    """``NCS_init(flow, ...)``: resolve a strategy by registered name.
 
     "If no argument is provided then default flow and error control
     threads are used" — the default here is :class:`NoFlowControl`
     (Approach 1 inherits p4/TCP's own control, exactly as §4.1 notes).
+    Unknown names fail with the list of registered policies; new
+    policies plug in via ``@FLOW_CONTROLS.register("name")``.
     """
-    if spec is None or spec == "none":
+    if spec is None:
         return NoFlowControl()
     if isinstance(spec, FlowControl):
         return spec
-    if spec == "window":
-        return WindowFlowControl(**kwargs)
-    if spec == "rate":
-        return RateFlowControl(**kwargs)
-    raise ValueError(f"unknown flow control {spec!r}")
+    return FLOW_CONTROLS.get(spec)(**kwargs)

@@ -30,6 +30,7 @@ from typing import Callable, Optional
 from ...hosts import Host
 from ...net.topology import Cluster, NodeStack
 from ...p4.api import LibraryStream, P4Message, P4Params
+from ...registry import TRANSPORTS
 from ...sim import Activity, Event
 from .buffers import BufferPipeline
 from .datapath import DatapathModel, NCS_DATAPATH, SOCKET_DATAPATH
@@ -148,6 +149,12 @@ class SocketTransport(NcsTransport):
                 + self.datapath.comm_copy_time(host.cpu, nbytes))
 
 
+@TRANSPORTS.register(
+    "nsm", help="Normal Speed Mode: NCS over TCP/IP sockets (Fig 6)")
+def _build_socket_transport(runtime, pid: int) -> "SocketTransport":
+    return SocketTransport(runtime.cluster, pid)
+
+
 class P4Transport(SocketTransport):
     """Approach 1: NCS over p4 (adds p4's library overheads + envelope).
 
@@ -197,6 +204,12 @@ class P4Transport(SocketTransport):
         return (self.p4_params.recv_overhead_s
                 + nbytes * self.p4_params.marshal_recv_per_byte_s
                 + super().recv_cost(nbytes))
+
+
+@TRANSPORTS.register(
+    "p4", help="Approach 1: NCS over the p4 library (Tables 1-3)")
+def _build_p4_transport(runtime, pid: int) -> "P4Transport":
+    return P4Transport(runtime.cluster, pid, runtime.p4_params)
 
 
 class AtmTransport(NcsTransport):
@@ -249,3 +262,9 @@ class AtmTransport(NcsTransport):
         host = self.host
         return (self.datapath.entry_cost(host.os)
                 + self.datapath.comm_copy_time(host.cpu, nbytes))
+
+
+@TRANSPORTS.register(
+    "hsm", help="High Speed Mode: straight onto the ATM API (Approach 2)")
+def _build_atm_transport(runtime, pid: int) -> "AtmTransport":
+    return AtmTransport(runtime.cluster, pid)

@@ -24,16 +24,28 @@ from typing import Any
 __all__ = ["cluster_report", "render_report"]
 
 
-def cluster_report(cluster, runtime=None) -> dict:
+def cluster_report(cluster, runtime=None, scenario=None) -> dict:
     """Collect counters from every layer of a built cluster.
 
     ``runtime`` (an :class:`~repro.core.api.NcsRuntime`) adds NCS-level
-    counters when provided.
+    counters when provided.  ``scenario`` stamps the report with its
+    provenance — either a scenario name (str) or a
+    :class:`~repro.config.ScenarioSpec`, in which case the spec's
+    content digest is recorded too, tying the numbers back to the exact
+    configuration that produced them.
     """
     m = cluster.metrics
     if m.enabled:
-        return _report_from_registry(cluster, runtime, m)
-    return _report_from_public_counters(cluster, runtime)
+        report = _report_from_registry(cluster, runtime, m)
+    else:
+        report = _report_from_public_counters(cluster, runtime)
+    if scenario is not None:
+        if isinstance(scenario, str):
+            provenance = {"name": scenario}
+        else:
+            provenance = {"name": scenario.name, "digest": scenario.digest()}
+        report = {"scenario": provenance, **report}
+    return report
 
 
 def _report_from_registry(cluster, runtime, m) -> dict:

@@ -19,10 +19,13 @@ the generator behind the chaos sweep tests.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 import numpy as np
+
+from ..registry import FAULT_KINDS
 
 __all__ = [
     "FaultEvent", "LinkOutage", "BerSpike", "HostCrash", "SwitchPortStall",
@@ -55,6 +58,9 @@ class FaultEvent:
     def permanent(self) -> bool:
         return self.duration is None
 
+    #: registered kind name, filled in by ``@FAULT_KINDS.register``
+    kind = "fault"
+
     def _span(self) -> str:
         if self.permanent:
             return f"@{self.at:g}s permanent"
@@ -63,7 +69,62 @@ class FaultEvent:
     def describe(self) -> str:  # pragma: no cover - overridden
         return f"fault {self._span()}"
 
+    def to_dict(self) -> dict:
+        """Declarative form: ``{"kind": ..., "at": ..., ...}``.
 
+        ``duration`` is omitted when permanent and tuple fields become
+        lists, so the result serializes to TOML/JSON as-is and
+        round-trips through :meth:`from_dict`.
+        """
+        d: dict = {"kind": self.kind, "at": self.at}
+        if self.duration is not None:
+            d["duration"] = self.duration
+        for f in dataclasses.fields(self):
+            if f.name in ("at", "duration"):
+                continue
+            value = getattr(self, f.name)
+            if value is None:
+                continue
+            if isinstance(value, tuple):
+                value = [list(v) if isinstance(v, tuple) else v
+                         for v in value]
+            d[f.name] = value
+        return d
+
+    @staticmethod
+    def from_dict(raw: dict) -> "FaultEvent":
+        """Build the registered event class from its declarative form."""
+        raw = dict(raw)
+        try:
+            kind = raw.pop("kind")
+        except KeyError:
+            raise ValueError(
+                f"fault event {raw!r} has no 'kind' key; registered "
+                f"kinds: {', '.join(FAULT_KINDS.names())}") from None
+        cls = FAULT_KINDS.get(kind)
+        allowed = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(raw) - allowed)
+        if unknown:
+            raise ValueError(
+                f"fault kind {kind!r} does not accept "
+                f"{', '.join(map(repr, unknown))}; fields: "
+                f"{', '.join(sorted(allowed))}")
+        for key, value in raw.items():
+            if isinstance(value, list):
+                raw[key] = tuple(tuple(v) if isinstance(v, list) else v
+                                 for v in value)
+        return cls(**raw)
+
+
+def _register_kind(name: str):
+    """Register a fault-event class and stamp its ``kind`` name."""
+    def decorator(cls):
+        cls.kind = name
+        return FAULT_KINDS.register(name, cls)
+    return decorator
+
+
+@_register_kind("link-outage")
 @dataclass(frozen=True)
 class LinkOutage(FaultEvent):
     """The host's physical link goes dark in both directions.
@@ -79,6 +140,7 @@ class LinkOutage(FaultEvent):
         return f"link-outage(host={self.host}) {self._span()}"
 
 
+@_register_kind("ber-spike")
 @dataclass(frozen=True)
 class BerSpike(FaultEvent):
     """Transient bit-error-rate spike.
@@ -100,6 +162,7 @@ class BerSpike(FaultEvent):
         return f"ber-spike(host={self.host}, ber={self.ber:g}) {self._span()}"
 
 
+@_register_kind("host-crash")
 @dataclass(frozen=True)
 class HostCrash(FaultEvent):
     """Fail-stop host crash with later restart.
@@ -117,6 +180,7 @@ class HostCrash(FaultEvent):
         return f"host-crash(host={self.host}) {self._span()}"
 
 
+@_register_kind("switch-port-stall")
 @dataclass(frozen=True)
 class SwitchPortStall(FaultEvent):
     """The switch output port feeding ``host`` wedges: cells queue but
@@ -129,6 +193,7 @@ class SwitchPortStall(FaultEvent):
         return f"switch-port-stall(host={self.host}) {self._span()}"
 
 
+@_register_kind("partition")
 @dataclass(frozen=True)
 class Partition(FaultEvent):
     """Network partition: processes in different groups cannot exchange
@@ -162,6 +227,7 @@ class Partition(FaultEvent):
         return f"partition({groups}) {self._span()}"
 
 
+@_register_kind("message-loss")
 @dataclass(frozen=True)
 class MessageLoss(FaultEvent):
     """Message-level loss: each NCS message arriving at an affected
@@ -214,6 +280,22 @@ class FaultPlan:
         """One line per event — stable text used in logs and EXPERIMENTS."""
         head = f"FaultPlan({self.label or 'unnamed'}, {len(self.events)} events)"
         return "\n".join([head] + [f"  {e.describe()}" for e in self.events])
+
+    # ------------------------------------------------- declarative form
+    def to_dicts(self) -> list[dict]:
+        """The plan as plain event tables (the scenario-file form)."""
+        return [e.to_dict() for e in self.events]
+
+    @staticmethod
+    def from_dicts(events: Sequence[dict], label: str = "") -> "FaultPlan":
+        """Rebuild a plan from event tables; inverse of :meth:`to_dicts`.
+
+        Each table names its registered ``kind`` plus the event's
+        fields — unknown kinds and unknown fields fail with the list
+        of alternatives.
+        """
+        return FaultPlan(tuple(FaultEvent.from_dict(e) for e in events),
+                         label=label)
 
     @staticmethod
     def random(seed: int, n_hosts: int, t_max: float = 0.5,

@@ -26,10 +26,12 @@ from ..atm import (
 from ..hosts import Host, HostParams, OsProcess, SUN_IPX
 from ..protocols import AtmIpAdapter, IpLayer, SocketLayer, TcpParams, TcpStack, UdpStack
 from ..obs.registry import MetricsRegistry, NULL_REGISTRY
+from ..registry import TOPOLOGIES
 from ..sim import NullTracer, RngRegistry, Simulator, Tracer
 from .topology import Cluster, NodeStack
 
-__all__ = ["SiteSpec", "build_nynet", "nynet_testbed"]
+__all__ = ["SiteSpec", "build_nynet", "build_nynet_from_spec",
+           "nynet_testbed"]
 
 
 @dataclass(frozen=True)
@@ -117,6 +119,9 @@ def build_nynet(sites: list[SiteSpec],
     return cluster
 
 
+@TOPOLOGIES.register(
+    "nynet-testbed",
+    help="Two-region NYNET: upstate + downstate sites over the DS-3 (Fig 1)")
 def nynet_testbed(n_upstate: int = 4, n_downstate: int = 2, **kw) -> Cluster:
     """The canonical two-region instance used by the Fig 1 benchmark:
     a Syracuse-like upstate site and an NYC-like downstate site."""
@@ -124,3 +129,27 @@ def nynet_testbed(n_upstate: int = 4, n_downstate: int = 2, **kw) -> Cluster:
         SiteSpec("syr", n_upstate, "upstate"),
         SiteSpec("nyc", n_downstate, "downstate"),
     ], **kw)
+
+
+@TOPOLOGIES.register(
+    "nynet", help="The Fig 1 NYNET WAN from declarative site tables")
+def build_nynet_from_spec(sites: list, **kw) -> Cluster:
+    """Spec-facing :func:`build_nynet`: ``sites`` as plain tables
+    (``{name = ..., n_hosts = ..., region = ...}``) so a scenario file
+    can declare the whole WAN."""
+    site_specs = []
+    for i, site in enumerate(sites):
+        if isinstance(site, SiteSpec):
+            site_specs.append(site)
+        elif isinstance(site, dict):
+            try:
+                site_specs.append(SiteSpec(**site))
+            except TypeError as e:
+                raise ValueError(
+                    f"cluster.options.sites[{i}]: {e}; expected keys "
+                    "name, n_hosts, region") from None
+        else:
+            raise ValueError(
+                f"cluster.options.sites[{i}]: expected a table, "
+                f"got {site!r}")
+    return build_nynet(site_specs, **kw)

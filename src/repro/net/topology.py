@@ -28,6 +28,7 @@ from ..protocols import (
     AtmIpAdapter, EthernetIpAdapter, IpLayer, SocketLayer, TcpParams,
     TcpStack, UdpStack,
 )
+from ..registry import TOPOLOGIES
 from ..sim import NullTracer, RngRegistry, Simulator, Tracer
 
 __all__ = ["NodeStack", "Cluster", "build_ethernet_cluster",
@@ -103,6 +104,8 @@ def _host_name(i: int) -> str:
     return f"n{i}"
 
 
+@TOPOLOGIES.register(
+    "ethernet", help="N workstations on one shared 10 Mbps Ethernet (§2)")
 def build_ethernet_cluster(
         n_hosts: int,
         params: HostParams = SUN_ELC,
@@ -141,6 +144,8 @@ def build_ethernet_cluster(
     return cluster
 
 
+@TOPOLOGIES.register(
+    "atm-lan", help="N workstations star-wired to a FORE switch (§2)")
 def build_atm_cluster(
         n_hosts: int,
         params: HostParams = SUN_IPX,

@@ -1,0 +1,109 @@
+"""``python -m repro.run`` — run declarative NCS scenarios.
+
+Usage::
+
+    python -m repro.run scenario.toml [more.toml ...]
+    python -m repro.run --list            # registered components
+    python -m repro.run --print-spec s.toml   # canonical TOML, no run
+
+A scenario file is a TOML (or JSON) document describing one experiment
+end to end — cluster topology, NCS service mode, flow/error control,
+fault plan, application and telemetry — that loads into a
+:class:`repro.config.ScenarioSpec` and runs through
+:func:`repro.config.run_scenario`.  Checked-in examples live in the
+repository's ``scenarios/`` directory.
+
+Every component name in a scenario resolves through
+:mod:`repro.registry`; ``--list`` shows what is available, including
+anything registered by modules imported via ``--import``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import sys
+
+from .config import (SpecError, dump_scenario, dumps_toml, load_scenario,
+                     run_scenario, ensure_components)
+from .diagnostics import render_report
+from .registry import UnknownNameError, all_registries
+
+__all__ = ["main"]
+
+
+def _list_components() -> str:
+    ensure_components()
+    lines = []
+    for reg_name, reg in all_registries().items():
+        lines.append(f"{reg_name}:")
+        for name in reg.names():
+            help_text = reg.help_for(name)
+            lines.append(f"  {name:<20} {help_text}" if help_text
+                         else f"  {name}")
+    return "\n".join(lines)
+
+
+def _summarize(result) -> str:
+    spec = result.spec
+    head = f"scenario {spec.name!r} [{spec.digest()}]: done"
+    rows = [f"  {k:<16} {v}" for k, v in result.summary().items()]
+    rows += [f"  exported         {p}" for p in result.exported]
+    return "\n".join([head] + rows)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.run",
+        description="Run declarative NCS scenario files.")
+    parser.add_argument("scenarios", nargs="*", metavar="SCENARIO",
+                        help="scenario file(s): .toml or .json")
+    parser.add_argument("--list", action="store_true",
+                        help="list registered components and exit")
+    parser.add_argument("--print-spec", action="store_true",
+                        help="print each scenario's canonical TOML "
+                             "(validated, defaults pruned) without running")
+    parser.add_argument("--report", action="store_true",
+                        help="print the cluster diagnostics report after "
+                             "each run (implied by obs.report = true)")
+    parser.add_argument("--import", dest="imports", action="append",
+                        default=[], metavar="MODULE",
+                        help="import MODULE first so third-party components "
+                             "self-register (repeatable)")
+    args = parser.parse_args(argv)
+
+    for mod in args.imports:
+        importlib.import_module(mod)
+
+    if args.list:
+        print(_list_components())
+        return 0
+    if not args.scenarios:
+        parser.error("no scenario files given (or use --list)")
+
+    status = 0
+    for path in args.scenarios:
+        try:
+            spec = load_scenario(path)
+        except (SpecError, OSError) as e:
+            print(f"{path}: {e}", file=sys.stderr)
+            status = 2
+            continue
+        if args.print_spec:
+            print(dumps_toml(spec.to_dict()), end="")
+            continue
+        try:
+            result = run_scenario(spec)
+        except (SpecError, UnknownNameError) as e:
+            print(f"{path}: {e}", file=sys.stderr)
+            status = 2
+            continue
+        print(_summarize(result))
+        if (args.report or spec.obs.report) and result.cluster is not None:
+            print(render_report(result.report(), indent=1))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

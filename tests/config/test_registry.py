@@ -1,0 +1,102 @@
+"""Registry semantics: registration, lookup, duplicates, good errors."""
+
+import pytest
+
+from repro.registry import (
+    APP_DRIVERS, DuplicateNameError, Registry, TOPOLOGIES, TRANSPORTS,
+    UnknownNameError, all_registries,
+)
+
+
+def test_register_decorator_and_get():
+    reg = Registry("widgets")
+
+    @reg.register("alpha", help="first")
+    def alpha():
+        return "a"
+
+    assert reg.get("alpha") is alpha
+    assert reg.names() == ["alpha"]
+    assert reg.help_for("alpha") == "first"
+
+
+def test_register_direct_object():
+    reg = Registry("widgets")
+    obj = object()
+    assert reg.register("thing", obj) is obj
+    assert reg.get("thing") is obj
+
+
+def test_unknown_name_lists_alternatives():
+    reg = Registry("widgets")
+    reg.register("alpha", object())
+    reg.register("beta", object())
+    with pytest.raises(UnknownNameError) as exc:
+        reg.get("gamma")
+    msg = str(exc.value)
+    assert "gamma" in msg and "alpha" in msg and "beta" in msg
+    assert "widgets" in msg
+
+
+def test_unknown_name_is_both_value_and_key_error():
+    reg = Registry("widgets")
+    with pytest.raises(ValueError):
+        reg.get("nope")
+    with pytest.raises(KeyError):
+        reg.get("nope")
+    # the message must not be repr-quoted like a bare KeyError
+    try:
+        reg.get("nope")
+    except UnknownNameError as e:
+        assert not str(e).startswith("'")
+
+
+def test_duplicate_registration_fails():
+    reg = Registry("widgets")
+    reg.register("alpha", object())
+    with pytest.raises(DuplicateNameError) as exc:
+        reg.register("alpha", object())
+    assert "alpha" in str(exc.value)
+
+
+def test_unregister_allows_replacement():
+    reg = Registry("widgets")
+    reg.register("alpha", 1)
+    reg.unregister("alpha")
+    reg.register("alpha", 2)
+    assert reg.get("alpha") == 2
+
+
+def test_stock_components_are_registered():
+    from repro.config import ensure_components
+    ensure_components()
+    assert set(TRANSPORTS.names()) >= {"p4", "nsm", "hsm"}
+    assert set(TOPOLOGIES.names()) >= {
+        "ethernet", "atm-lan", "nynet", "nynet-testbed",
+        "platform-ethernet", "platform-nynet"}
+    assert set(APP_DRIVERS.names()) >= {
+        "matmul-p4", "matmul-ncs", "jpeg-p4", "jpeg-ncs",
+        "fft-p4", "fft-ncs", "pingpong", "ring", "stream"}
+    regs = all_registries()
+    assert set(regs) == {"transports", "topologies", "flow-controls",
+                         "error-controls", "app-drivers", "fault-kinds"}
+
+
+def test_third_party_transport_plugs_in():
+    """A transport registered at runtime resolves by its string name."""
+    from repro.config import ClusterSpec, ScenarioSpec, build_runtime
+    from repro.core.mps.transports import SocketTransport
+
+    @TRANSPORTS.register("test-nsm-clone", help="test-only")
+    def _build(runtime, pid):
+        return SocketTransport(runtime.cluster, pid)
+
+    try:
+        spec = ScenarioSpec(
+            name="third-party",
+            cluster=ClusterSpec(topology="ethernet", n_hosts=2),
+            mode="test-nsm-clone")
+        cluster, rt = build_runtime(spec)
+        assert rt.node(0).transport.name == "socket"
+    finally:
+        TRANSPORTS.unregister("test-nsm-clone")

@@ -1,0 +1,143 @@
+"""Validation errors must be actionable: name the field, list the fix."""
+
+import pytest
+
+from repro.config import (
+    AppSpec, ClusterSpec, FaultSpec, ObsSpec, ScenarioSpec, SpecError,
+    build_cluster, build_runtime, loads_scenario, run_scenario,
+)
+from repro.registry import UnknownNameError
+
+
+def err(fn, *args, **kw):
+    with pytest.raises((SpecError, UnknownNameError, ValueError)) as exc:
+        fn(*args, **kw)
+    return str(exc.value)
+
+
+# --------------------------------------------------------------- field errors
+def test_unknown_top_level_key_names_allowed():
+    msg = err(ScenarioSpec.from_dict, {"name": "x", "clutser": {}})
+    assert "clutser" in msg and "cluster" in msg
+
+
+def test_unknown_runtime_key():
+    msg = err(ScenarioSpec.from_dict,
+              {"name": "x", "runtime": {"mdoe": "hsm"}})
+    assert "mdoe" in msg and "mode" in msg
+
+
+def test_bad_n_hosts_message():
+    msg = err(ClusterSpec, topology="ethernet", n_hosts=0)
+    assert "cluster.n_hosts" in msg and "positive" in msg
+
+
+def test_flow_kwargs_without_flow():
+    msg = err(ScenarioSpec, name="x", flow_kwargs={"window_bytes": 1})
+    assert "runtime.flow_kwargs" in msg and "runtime.flow" in msg
+
+
+def test_barrier_parties_must_be_positive():
+    msg = err(ScenarioSpec, name="x", barriers={0: 0})
+    assert "barriers" in msg and "parties" in msg
+
+
+def test_barrier_ids_coerce_from_toml_strings():
+    spec = ScenarioSpec.from_dict(
+        {"name": "x", "runtime": {"barriers": {"0": 3}}})
+    assert spec.barriers == {0: 3}
+
+
+def test_obs_export_requires_trace():
+    msg = err(ObsSpec, chrome_trace="out.json")
+    assert "obs.chrome_trace" in msg and "obs.trace" in msg.replace(
+        "trace = true", "obs.trace")
+
+
+def test_faults_events_and_random_exclusive():
+    msg = err(FaultSpec,
+              events=({"kind": "link-outage", "at": 0.0},),
+              random={"seed": 1})
+    assert "faults" in msg
+
+
+def test_random_faults_require_seed():
+    msg = err(FaultSpec, random={"n_hosts": 2})
+    assert "seed" in msg
+
+
+def test_fault_event_requires_kind():
+    msg = err(FaultSpec, events=({"at": 0.0},))
+    assert "kind" in msg
+
+
+def test_unknown_fault_kind_lists_registered():
+    spec = FaultSpec(events=({"kind": "gremlin", "at": 0.0},))
+    msg = err(spec.to_plan)
+    assert "gremlin" in msg and "link-outage" in msg
+
+
+def test_unknown_fault_field_lists_fields():
+    spec = FaultSpec(events=(
+        {"kind": "link-outage", "at": 0.0, "hots": 1},))
+    msg = err(spec.to_plan)
+    assert "hots" in msg and "host" in msg
+
+
+def test_bad_toml_syntax_wrapped():
+    msg = err(loads_scenario, "name = [unclosed", format="toml")
+    assert "TOML" in msg or "toml" in msg
+
+
+# ------------------------------------------------------------ registry errors
+def test_unknown_topology_lists_alternatives():
+    msg = err(build_cluster, ClusterSpec(topology="tokenring"))
+    assert "tokenring" in msg and "ethernet" in msg and "atm-lan" in msg
+
+
+def test_unknown_driver_lists_alternatives():
+    spec = ScenarioSpec(name="x", app=AppSpec(driver="quicksort"))
+    msg = err(run_scenario, spec)
+    assert "quicksort" in msg and "pingpong" in msg
+
+
+def test_unknown_mode_lists_transports():
+    spec = ScenarioSpec(
+        name="x", cluster=ClusterSpec(topology="ethernet", n_hosts=2),
+        mode="warp")
+    msg = err(build_runtime, spec)
+    assert "warp" in msg and "hsm" in msg and "nsm" in msg
+
+
+def test_unknown_flow_policy_lists_alternatives():
+    spec = ScenarioSpec(
+        name="x", cluster=ClusterSpec(topology="ethernet", n_hosts=2),
+        flow="rationing")
+    msg = err(build_runtime, spec)
+    assert "rationing" in msg and "window" in msg and "rate" in msg
+
+
+def test_scenario_without_app_cannot_run():
+    msg = err(run_scenario, ScenarioSpec(name="appless"))
+    assert "appless" in msg and "app" in msg
+
+
+# ----------------------------------------------- NcsNode transport dispatch
+def test_ncsnode_none_mode_raises_clear_error():
+    from repro.core.api import NcsRuntime
+    from repro.net import build_ethernet_cluster
+
+    with pytest.raises(ValueError) as exc:
+        NcsRuntime(build_ethernet_cluster(2), mode=None)
+    msg = str(exc.value)
+    assert "p4" in msg and "nsm" in msg and "hsm" in msg
+
+
+def test_ncsnode_unknown_mode_string_raises_with_alternatives():
+    from repro.core.api import NcsRuntime
+    from repro.net import build_ethernet_cluster
+
+    with pytest.raises(ValueError) as exc:
+        NcsRuntime(build_ethernet_cluster(2), mode="quantum")
+    msg = str(exc.value)
+    assert "quantum" in msg and "hsm" in msg and "nsm" in msg and "p4" in msg
