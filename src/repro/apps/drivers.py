@@ -171,6 +171,20 @@ def _ring(run):
 
 
 @APP_DRIVERS.register(
+    "matmul-resilient",
+    help="Matmul with failure detection and work reassignment")
+def _matmul_resilient(run):
+    """Coordinator/worker matmul that survives worker death: requires a
+    [resilience] table; mode/faults/topology come from the spec (use
+    ``hsm-failover`` on ``atm-dual`` for the degradation scenarios)."""
+    from .resilient import run_resilient_matmul
+    p = run.params
+    kwargs = {k: p[k] for k in ("n", "units", "seed", "poll_s",
+                                "compute_s_per_unit", "max_polls") if k in p}
+    return run_resilient_matmul(run.runtime, **kwargs)
+
+
+@APP_DRIVERS.register(
     "stream",
     help="One-way producer/consumer stream (the Fig 5 QoS workload)")
 def _stream(run):

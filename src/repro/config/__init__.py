@@ -24,7 +24,8 @@ touching this package.
 """
 
 from .spec import (
-    AppSpec, ClusterSpec, FaultSpec, ObsSpec, ScenarioSpec, SpecError,
+    AppSpec, ClusterSpec, FaultSpec, ObsSpec, ResilienceSpec, ScenarioSpec,
+    SpecError,
 )
 from .io import (
     dump_scenario, dumps_json, dumps_toml, load_scenario, loads_scenario,
@@ -35,8 +36,8 @@ from .build import (
 )
 
 __all__ = [
-    "AppSpec", "ClusterSpec", "FaultSpec", "ObsSpec", "ScenarioSpec",
-    "SpecError",
+    "AppSpec", "ClusterSpec", "FaultSpec", "ObsSpec", "ResilienceSpec",
+    "ScenarioSpec", "SpecError",
     "dump_scenario", "dumps_json", "dumps_toml", "load_scenario",
     "loads_scenario",
     "ScenarioResult", "ScenarioRun", "build_cluster", "build_fault_plan",

@@ -35,6 +35,7 @@ _COMPONENT_MODULES = (
     "repro.net.topology",    # LAN builders
     "repro.net.nynet",       # WAN builders
     "repro.faults.plan",     # fault kinds
+    "repro.resilience",      # hsm-failover transport + adaptive EC
     "repro.apps.drivers",    # app drivers (imports the apps themselves)
 )
 
@@ -90,10 +91,13 @@ def build_runtime(spec: ScenarioSpec, cluster=None):
     from ..core.api import NcsRuntime
     if cluster is None:
         cluster = build_cluster(spec.cluster, spec.obs)
+    resilience = (spec.resilience.build()
+                  if spec.resilience is not None else None)
     runtime = NcsRuntime(cluster, mode=spec.mode,
                          flow=spec.flow, error=spec.error,
                          flow_kwargs=dict(spec.flow_kwargs),
-                         error_kwargs=dict(spec.error_kwargs))
+                         error_kwargs=dict(spec.error_kwargs),
+                         resilience=resilience)
     plan = build_fault_plan(spec)
     if plan is not None:
         from ..faults.injector import FaultInjector

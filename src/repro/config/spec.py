@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
 
 __all__ = ["SpecError", "ClusterSpec", "AppSpec", "FaultSpec", "ObsSpec",
-           "ScenarioSpec"]
+           "ResilienceSpec", "ScenarioSpec"]
 
 
 class SpecError(ValueError):
@@ -235,6 +235,86 @@ class FaultSpec:
 
 
 # ---------------------------------------------------------------------------
+# ResilienceSpec
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ResilienceSpec:
+    """Self-healing configuration (:mod:`repro.resilience`).
+
+    When ``enabled``, every node gains a heartbeat failure-detector
+    system thread; the timing triad must satisfy
+    ``heartbeat_interval_s < suspect_after_s < dead_after_s``.  The
+    breaker fields configure the per-peer HSM→NSM circuit breakers of
+    the ``hsm-failover`` transport (they are inert under any other
+    ``runtime.mode``).
+    """
+
+    enabled: bool = True
+    heartbeat_interval_s: float = 0.02
+    suspect_after_s: float = 0.06
+    dead_after_s: float = 0.15
+    failure_threshold: int = 3
+    reset_timeout_s: float = 0.2
+    probe_successes: int = 2
+
+    _DEFAULTS = {"heartbeat_interval_s": 0.02, "suspect_after_s": 0.06,
+                 "dead_after_s": 0.15, "failure_threshold": 3,
+                 "reset_timeout_s": 0.2, "probe_successes": 2}
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.enabled, bool):
+            raise _err("resilience.enabled",
+                       f"must be true or false (got {self.enabled!r})")
+        for name in ("heartbeat_interval_s", "suspect_after_s",
+                     "dead_after_s", "reset_timeout_s"):
+            v = getattr(self, name)
+            if not isinstance(v, (int, float)) or v <= 0:
+                raise _err(f"resilience.{name}",
+                           f"must be a positive number (got {v!r})")
+        if not (self.heartbeat_interval_s < self.suspect_after_s
+                < self.dead_after_s):
+            raise _err("resilience",
+                       "need heartbeat_interval_s < suspect_after_s < "
+                       f"dead_after_s (got {self.heartbeat_interval_s!r} / "
+                       f"{self.suspect_after_s!r} / {self.dead_after_s!r})")
+        for name in ("failure_threshold", "probe_successes"):
+            v = getattr(self, name)
+            if not isinstance(v, int) or v < 1:
+                raise _err(f"resilience.{name}",
+                           f"must be a positive integer (got {v!r})")
+
+    def to_dict(self) -> dict:
+        d = _prune(dataclasses.asdict(self), self._DEFAULTS)
+        # 'enabled' is always emitted: an empty [resilience] table would
+        # be ambiguous about whether the layer is on
+        d["enabled"] = self.enabled
+        return {k: d[k] for k in sorted(d)}
+
+    @classmethod
+    def from_dict(cls, raw: Mapping) -> "ResilienceSpec":
+        _check_table(raw, "resilience",
+                     ("enabled", "heartbeat_interval_s", "suspect_after_s",
+                      "dead_after_s", "failure_threshold", "reset_timeout_s",
+                      "probe_successes"))
+        return cls(**dict(raw))
+
+    def build(self):
+        """Materialize a :class:`repro.resilience.ClusterResilience`
+        (or ``None`` when disabled)."""
+        if not self.enabled:
+            return None
+        from ..resilience import ClusterResilience
+        return ClusterResilience(
+            heartbeat_interval_s=self.heartbeat_interval_s,
+            suspect_after_s=self.suspect_after_s,
+            dead_after_s=self.dead_after_s,
+            failure_threshold=self.failure_threshold,
+            reset_timeout_s=self.reset_timeout_s,
+            probe_successes=self.probe_successes)
+
+
+# ---------------------------------------------------------------------------
 # ObsSpec
 # ---------------------------------------------------------------------------
 
@@ -306,13 +386,15 @@ class ScenarioSpec:
     barriers: dict = field(default_factory=dict)
     app: Optional[AppSpec] = None
     faults: Optional[FaultSpec] = None
+    resilience: Optional[ResilienceSpec] = None
     obs: ObsSpec = field(default_factory=ObsSpec)
 
     def __post_init__(self) -> None:
         # accept plain mappings for the nested tables, same as from_dict,
         # so Python callers can write app={"driver": ...} inline
         for attr, spec_cls in (("cluster", ClusterSpec), ("app", AppSpec),
-                               ("faults", FaultSpec), ("obs", ObsSpec)):
+                               ("faults", FaultSpec),
+                               ("resilience", ResilienceSpec), ("obs", ObsSpec)):
             value = getattr(self, attr)
             if isinstance(value, Mapping):
                 object.__setattr__(self, attr, spec_cls.from_dict(value))
@@ -382,6 +464,8 @@ class ScenarioSpec:
             faults = self.faults.to_dict()
             if faults:
                 doc["faults"] = faults
+        if self.resilience is not None:
+            doc["resilience"] = self.resilience.to_dict()
         obs = self.obs.to_dict()
         if obs:
             doc["obs"] = obs
@@ -391,7 +475,7 @@ class ScenarioSpec:
     def from_dict(cls, raw: Mapping) -> "ScenarioSpec":
         _check_table(raw, "scenario",
                      ("name", "description", "cluster", "runtime", "app",
-                      "faults", "obs"))
+                      "faults", "resilience", "obs"))
         if "name" not in raw:
             raise _err("scenario.name", "is required (the scenario's identity "
                        "in reports, digests and the experiment ledger)")
@@ -415,6 +499,8 @@ class ScenarioSpec:
             kw["app"] = AppSpec.from_dict(raw["app"])
         if "faults" in raw:
             kw["faults"] = FaultSpec.from_dict(raw["faults"])
+        if "resilience" in raw:
+            kw["resilience"] = ResilienceSpec.from_dict(raw["resilience"])
         if "obs" in raw:
             kw["obs"] = ObsSpec.from_dict(raw["obs"])
         return cls(**kw)

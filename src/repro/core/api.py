@@ -72,9 +72,14 @@ class NcsRuntime:
                  error: Optional[str | ErrorControl] = None,
                  p4_params: Optional[P4Params] = None,
                  flow_kwargs: Optional[dict] = None,
-                 error_kwargs: Optional[dict] = None):
+                 error_kwargs: Optional[dict] = None,
+                 resilience: Optional[Any] = None):
         self.cluster = cluster
         self.sim = cluster.sim
+        #: optional ClusterResilience — must be set *before* the nodes
+        #: are built (the hsm-failover transport builder reads its
+        #: breaker parameters off the runtime)
+        self.resilience = resilience
         if isinstance(mode, str):
             try:
                 mode = ServiceMode(mode)
@@ -90,6 +95,8 @@ class NcsRuntime:
         self._flow_kwargs = flow_kwargs or {}
         self._error_kwargs = error_kwargs or {}
         self.nodes = [NcsNode(self, pid) for pid in range(cluster.n_hosts)]
+        if resilience is not None:
+            resilience.attach(self)
         self._started = False
         self._procs: list[SimProcess] = []
 
@@ -177,6 +184,10 @@ class NcsRuntime:
         if raise_message_lost:
             lost = [m for node in self.nodes
                     for m in node.mps.lost_messages]
+            if self.resilience is not None:
+                # losses to a crashed/confirmed-dead destination are the
+                # handled cost of a survived failure, not an error
+                lost = [m for m in lost if not self.resilience.forgives(m)]
             if lost:
                 m = lost[0]
                 raise MessageLost(
@@ -184,6 +195,12 @@ class NcsRuntime:
                     f"{m.kind.value} {m.msg_uid} from process "
                     f"{m.from_process} to process {m.to_process})")
         unfinished = [p for p in self._procs if not p.triggered]
+        if self.resilience is not None:
+            # a crashed (frozen) host's scheduler can never finish; with
+            # resilience armed that is a survived failure, not a deadlock
+            unfinished = [
+                p for i, p in enumerate(self._procs)
+                if not p.triggered and not self.nodes[i].mps.host.frozen]
         if unfinished and until is None:
             names = ", ".join(p.name for p in unfinished)
             raise SimulationError(

@@ -102,6 +102,9 @@ class NcsMps:
         #: injected arrival filter (repro.faults): ``fn(msg) -> True``
         #: discards an inter-process message as if the network lost it
         self.rx_fault: Optional[Callable[[NcsMessage], bool]] = None
+        #: per-node failure detector (repro.resilience); installed by
+        #: ``ClusterResilience.attach`` when a ResilienceSpec enables it
+        self.resilience: Optional[Any] = None
         #: exceptions (remote throws, lost-message reports) waiting for a
         #: thread's next recv
         self._poison: dict[int, BaseException] = {}
@@ -189,7 +192,7 @@ class NcsMps:
             from_thread=thread.tid, from_process=self.pid,
             to_thread=op.to_thread, to_process=op.to_process,
             data=op.data, size=op.size, tag=op.tag,
-            msg_uid=self._next_uid())
+            msg_uid=self._next_uid(), deadline=op.deadline)
         self.data_sent += 1
         self._m_sent.inc()
         self._m_bytes.observe(op.size)
@@ -421,7 +424,10 @@ class NcsMps:
 
     def _handle_control(self, msg: NcsMessage) -> None:
         kind = msg.kind
-        if kind is ControlKind.CREDIT:
+        if kind is ControlKind.HEARTBEAT:
+            if self.resilience is not None:
+                self.resilience.on_heartbeat(msg.from_process, msg.data)
+        elif kind is ControlKind.CREDIT:
             self.fc.on_credit(msg.from_process, msg.data)
         elif kind is ControlKind.ACK:
             self.ec.on_ack(msg.data)
@@ -488,7 +494,7 @@ class NcsMps:
             if msg.from_process == self.pid:
                 cost = self.host.cpu.copy_time(msg.size, LOCAL_COPY_ACCESSES)
             else:
-                cost = self.transport.recv_cost(msg.size)
+                cost = self.transport.recv_cost_for(msg)
             yield ops.Compute(cost, label="ncs:recv-copy",
                               activity=Activity.COMMUNICATE)
             if self.fc.wants_credits and msg.from_process != self.pid:

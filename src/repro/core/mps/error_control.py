@@ -91,46 +91,103 @@ class NoErrorControl(ErrorControl):
 
 @ERROR_CONTROLS.register("ack")
 class AckRetransmitErrorControl(ErrorControl):
-    """Positive-ack + timeout retransmission at message level."""
+    """Positive-ack + timeout retransmission at message level.
+
+    ``dedup_capacity`` bounds the receiver-side duplicate-suppression
+    set: once more than that many uids are remembered, the oldest are
+    evicted in arrival order.  A uid only matters for dedup while its
+    sender may still retransmit it (bounded by ``max_retries`` worth of
+    backoff), so any capacity comfortably above the retransmission
+    window is safe — and the set no longer grows without bound over a
+    long-running process's lifetime.
+    """
 
     name = "ack"
     wants_acks = True
 
     def __init__(self, timeout_s: float = 0.05, max_retries: int = 8,
-                 check_interval_s: float = 0.01):
+                 check_interval_s: float = 0.01,
+                 dedup_capacity: int = 65536):
         if timeout_s <= 0 or check_interval_s <= 0:
             raise ValueError("timeouts must be positive")
         if max_retries < 1:
             raise ValueError("max_retries must be >= 1")
+        if dedup_capacity < 1:
+            raise ValueError("dedup_capacity must be >= 1")
         self.timeout_s = timeout_s
         self.max_retries = max_retries
         self.check_interval_s = check_interval_s
-        #: msg_uid -> [msg, deadline, retries]
+        self.dedup_capacity = dedup_capacity
+        #: canonical msg_uid -> [msg, deadline, retries]
         self._unacked: dict[tuple, list] = {}
-        self._seen: set[tuple] = set()
+        #: insertion-ordered dedup set (dict keys; oldest evicted first)
+        self._seen: dict[tuple, None] = {}
         self._nacked: list[tuple] = []
         self._signal: Optional[Event] = None
         #: statistics
         self.retransmissions = 0
         self.gave_up = 0
+        self.abandoned = 0
+        self.deadline_expired = 0
+
+    @staticmethod
+    def _uid(raw) -> tuple:
+        """One canonical key form for every uid-keyed structure.
+
+        ``on_sent`` sees the raw ``msg.msg_uid`` tuple while ``on_ack``
+        and ``on_nack`` see whatever survived the wire (historically a
+        list after serialization) — normalizing here is what keeps a
+        retransmitted message from being tracked under two keys."""
+        return raw if type(raw) is tuple else tuple(raw)
 
     def has_pending(self) -> bool:
         return bool(self._unacked or self._nacked)
 
+    def _initial_timeout(self) -> float:
+        """First retransmission timeout (adaptive EC overrides)."""
+        return self.timeout_s
+
+    def _retry_limit(self, msg) -> int:
+        """Retry budget for one message (adaptive EC overrides)."""
+        return self.max_retries
+
     # ----------------------------------------------------------- sender side
     def on_sent(self, msg) -> None:
-        if msg.msg_uid not in self._unacked:
-            self._unacked[msg.msg_uid] = [msg, self.sim.now + self.timeout_s, 0]
+        uid = self._uid(msg.msg_uid)
+        if uid not in self._unacked:
+            self._unacked[uid] = [msg, self.sim.now + self._initial_timeout(),
+                                  0]
             self._kick()
 
     def on_ack(self, msg_uid) -> None:
-        self._unacked.pop(tuple(msg_uid), None)
+        entry = self._unacked.pop(self._uid(msg_uid), None)
+        if entry is not None:
+            self.mps.transport.on_delivery_confirmed(entry[0])
 
     def on_nack(self, msg_uid) -> None:
-        uid = tuple(msg_uid)
+        uid = self._uid(msg_uid)
         if uid in self._unacked:
             self._nacked.append(uid)
             self._kick()
+
+    def abandon_peer(self, pid: int) -> int:
+        """Stop retransmitting to a peer the failure detector confirmed
+        dead.  The entries are dropped *without* surfacing
+        :class:`MessageLost` — the resilience layer (work reassignment,
+        or the operator) owns recovery now; poisoning the origin thread
+        would fail the very coordinator doing the reassigning.  Returns
+        the number of messages abandoned."""
+        doomed = [uid for uid, entry in self._unacked.items()
+                  if entry[0].to_process == pid]
+        for uid in doomed:
+            del self._unacked[uid]
+        if doomed:
+            self.abandoned += len(doomed)
+            self._nacked = [uid for uid in self._nacked
+                            if uid in self._unacked]
+            self.mps.host.tracer.point(
+                f"ec:{self.mps.pid}", "abandon-peer", (pid, len(doomed)))
+        return len(doomed)
 
     def _kick(self) -> None:
         if self._signal is not None and not self._signal.triggered:
@@ -138,10 +195,12 @@ class AckRetransmitErrorControl(ErrorControl):
 
     # --------------------------------------------------------- receiver side
     def is_duplicate(self, msg) -> bool:
-        uid = tuple(msg.msg_uid)
+        uid = self._uid(msg.msg_uid)
         if uid in self._seen:
             return True
-        self._seen.add(uid)
+        self._seen[uid] = None
+        while len(self._seen) > self.dedup_capacity:
+            del self._seen[next(iter(self._seen))]
         return False
 
     # ------------------------------------------------------------ EC thread
@@ -165,23 +224,31 @@ class AckRetransmitErrorControl(ErrorControl):
                         yield from self._retransmit(uid, entry)
         return body
 
+    def _give_up(self, uid, msg, why: str) -> None:
+        self.gave_up += 1
+        self._m_gave_up.inc()
+        del self._unacked[uid]
+        self.mps.host.tracer.point(f"ec:{self.mps.pid}", why, uid)
+        self.mps.on_message_lost(msg)
+
     def _retransmit(self, uid, entry):
-        msg, _, retries = entry
-        if retries >= self.max_retries:
-            self.gave_up += 1
-            self._m_gave_up.inc()
-            del self._unacked[uid]
-            self.mps.host.tracer.point(
-                f"ec:{self.mps.pid}", "gave-up", uid)
-            self.mps.on_message_lost(msg)
+        # index, don't unpack: subclasses may append fields to the entry
+        msg, retries = entry[0], entry[2]
+        if msg.deadline is not None and self.sim.now >= msg.deadline:
+            self.deadline_expired += 1
+            self._give_up(uid, msg, "deadline-expired")
+            return
+        if retries >= self._retry_limit(msg):
+            self._give_up(uid, msg, "gave-up")
             return
         entry[2] += 1
-        backoff = self.timeout_s * (2 ** entry[2])
+        backoff = self._initial_timeout() * (2 ** entry[2])
         entry[1] = self.sim.now + backoff
         self.retransmissions += 1
         self._m_retransmissions.inc()
         self.mps.host.tracer.point(
             f"ec:{self.mps.pid}", "retransmit", uid)
+        self.mps.transport.on_path_suspect(msg)
         accepted = self.mps.transport.start_send(msg)
         yield ops.WaitEvent(accepted)
 

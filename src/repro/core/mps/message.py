@@ -36,6 +36,7 @@ class ControlKind(enum.Enum):
     ACK = "ack"                  # error-control positive ack
     NACK = "nack"                # error-control: AAL5 CRC failure seen
     THROW = "throw"              # remote exception delivery
+    HEARTBEAT = "heartbeat"      # failure-detector liveness beacon
 
 
 @dataclass
@@ -52,6 +53,9 @@ class NcsMessage:
     kind: ControlKind = ControlKind.DATA
     #: (src_pid, seq) — globally unique, used by error control / dedup
     msg_uid: tuple[int, int] = (0, 0)
+    #: absolute simulated-time delivery deadline; error control stops
+    #: retransmitting past it (None = deliver at any cost)
+    deadline: "float | None" = None
 
     def __post_init__(self) -> None:
         if self.size < 0:

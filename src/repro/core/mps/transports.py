@@ -93,6 +93,24 @@ class NcsTransport:
         """CPU seconds to move a received message kernel -> user."""
         raise NotImplementedError
 
+    def recv_cost_for(self, msg: NcsMessage) -> float:
+        """Per-message receive cost.  The MPS receive thread charges this
+        so multi-path transports (failover) can price each message by
+        the path that actually delivered it."""
+        return self.recv_cost(msg.size)
+
+    # ------------------------------------------------ resilience feedback
+    # Error control reports delivery outcomes back to the transport so a
+    # path-aware transport (repro.resilience.FailoverTransport) can trip
+    # and reset per-peer circuit breakers.  Plain transports ignore them.
+
+    def on_path_suspect(self, msg: NcsMessage) -> None:
+        """EC is about to retransmit ``msg``: its last transmission is
+        presumed lost on whatever path carried it."""
+
+    def on_delivery_confirmed(self, msg: NcsMessage) -> None:
+        """The receiver acknowledged ``msg``."""
+
     # helper shared by subclasses
     def _spawn(self, gen, accepted: Event, label: str) -> Event:
         def runner():

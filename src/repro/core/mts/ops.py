@@ -125,13 +125,20 @@ class Spawn(Op):
 class Send(Op):
     """``NCS_send``: non-blocking in the paper's sense — blocks only the
     calling thread (until the send system thread has pushed the data into
-    the transport), never the process."""
+    the transport), never the process.
+
+    ``deadline``: optional absolute simulated time after which the
+    message no longer matters.  Error control stops retransmitting a
+    message past its deadline (part of the adaptive error-control
+    service class) instead of burning retries on stale data.
+    """
 
     to_thread: int
     to_process: int
     data: Any
     size: int
     tag: int = 0
+    deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.size < 0:

@@ -92,8 +92,8 @@ class ThreadContext:
         return ops.Compute(seconds, label)
 
     def send(self, to_thread: int, to_process: int, data: Any, size: int,
-             tag: int = 0):
-        return ops.Send(to_thread, to_process, data, size, tag)
+             tag: int = 0, deadline=None):
+        return ops.Send(to_thread, to_process, data, size, tag, deadline)
 
     def recv(self, from_thread: int = -1, from_process: int = -1,
              tag: int = -1, timeout=None):

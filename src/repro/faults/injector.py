@@ -117,10 +117,12 @@ class FaultInjector:
     def _begin(self, ev: FaultEvent, index: int) -> None:
         self._record("begin", ev, index)
         if isinstance(ev, LinkOutage):
-            self._for_links(ev.host, lambda link: link.fail())
-            nic = self._nic(ev.host)
-            if nic is not None:
-                nic.fail()
+            if ev.scope in ("all", "atm"):
+                self._for_links(ev.host, lambda link: link.fail())
+            if ev.scope in ("all", "nic"):
+                nic = self._nic(ev.host)
+                if nic is not None:
+                    nic.fail()
         elif isinstance(ev, BerSpike):
             if self.cluster.fabric is not None:
                 def spike(link, ber=ev.ber):
@@ -147,10 +149,12 @@ class FaultInjector:
     def _end(self, ev: FaultEvent, index: int) -> None:
         self._record("end", ev, index)
         if isinstance(ev, LinkOutage):
-            self._for_links(ev.host, lambda link: link.restore())
-            nic = self._nic(ev.host)
-            if nic is not None:
-                nic.restore()
+            if ev.scope in ("all", "atm"):
+                self._for_links(ev.host, lambda link: link.restore())
+            if ev.scope in ("all", "nic"):
+                nic = self._nic(ev.host)
+                if nic is not None:
+                    nic.restore()
         elif isinstance(ev, BerSpike):
             if self.cluster.fabric is not None:
                 def clear(link):

@@ -132,12 +132,33 @@ class LinkOutage(FaultEvent):
     On an ATM cluster this fails the host↔switch duplex TAXI link (every
     burst in the window reassembles corrupted, like a pulled fiber); on
     an Ethernet cluster it fails the host's NIC.
+
+    ``scope`` narrows which rail dies on a dual-rail (``atm-dual``)
+    host: ``"all"`` (default) fails both the ATM uplink and the
+    Ethernet NIC, ``"atm"`` pulls only the fiber to the switch,
+    ``"nic"`` only the Ethernet drop.  ``scope="atm"`` is the scenario
+    behind HSM→NSM failover — the fast path dies while TCP survives.
     """
 
     host: int = 0
+    scope: str = "all"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.scope not in ("all", "atm", "nic"):
+            raise ValueError(
+                f"link-outage scope must be 'all', 'atm' or 'nic'; "
+                f"got {self.scope!r}")
+
+    def to_dict(self) -> dict:
+        d = super().to_dict()
+        if d.get("scope") == "all":   # keep pre-scope serializations stable
+            del d["scope"]
+        return d
 
     def describe(self) -> str:
-        return f"link-outage(host={self.host}) {self._span()}"
+        which = "" if self.scope == "all" else f", scope={self.scope}"
+        return f"link-outage(host={self.host}{which}) {self._span()}"
 
 
 @_register_kind("ber-spike")

@@ -32,7 +32,7 @@ from ..registry import TOPOLOGIES
 from ..sim import NullTracer, RngRegistry, Simulator, Tracer
 
 __all__ = ["NodeStack", "Cluster", "build_ethernet_cluster",
-           "build_atm_cluster"]
+           "build_atm_cluster", "build_atm_dual_cluster"]
 
 
 @dataclass
@@ -195,6 +195,79 @@ def build_atm_cluster(
                 stacks[i].ip.adapter.register_vc(_host_name(j), vc)
                 stacks[j].ip.adapter.add_rx_vc(vc)
     # ... and a separate raw PVC mesh for NCS HSM traffic
+    for i in range(n_hosts):
+        for j in range(n_hosts):
+            if i != j:
+                cluster.hsm_vcs[(i, j)] = sig.create_pvc(
+                    _host_name(i), _host_name(j))
+    if preconnect:
+        cluster.preestablish_tcp_mesh()
+    return cluster
+
+
+@TOPOLOGIES.register(
+    "atm-dual",
+    help="ATM fabric for HSM + separate Ethernet for NSM/TCP (dual-rail)")
+def build_atm_dual_cluster(
+        n_hosts: int,
+        params: HostParams = SUN_IPX,
+        tcp_params: Optional[TcpParams] = None,
+        seed: int = 1995,
+        trace: bool = False,
+        metrics: bool = True,
+        link_spec: LinkSpec = TAXI_140,
+        switch_latency_s: float = 10e-6,
+        train_cells: int = 256,
+        bandwidth_bps: float = 10e6,
+        collisions: bool = False,
+        preconnect: bool = True) -> Cluster:
+    """Dual-rail cluster: every host has an SBA-200 on the ATM star *and*
+    an Ethernet NIC on a shared segment.
+
+    Unlike :func:`build_atm_cluster` — where classical-IP and the raw
+    HSM PVCs share the same TAXI links, so a link outage kills both
+    service tiers at once — here IP/TCP (and with it NSM and p4) runs
+    over the Ethernet while only HSM uses the fabric.  This is the
+    topology that makes HSM→NSM failover meaningful: the fast path can
+    die while the slow path survives.  (The paper's own testbed kept
+    its Ethernet alongside the ATM gear for exactly this kind of
+    fallback.)
+    """
+    if n_hosts < 1:
+        raise ValueError("need at least one host")
+    sim = Simulator(metrics=MetricsRegistry() if metrics else NULL_REGISTRY)
+    rngs = RngRegistry(seed)
+    tracer = Tracer(sim) if trace else NullTracer(sim)
+    lan = EthernetLan(sim, bandwidth_bps=bandwidth_bps,
+                      collisions=collisions, rngs=rngs)
+    fabric = AtmFabric(sim)
+    switch = fabric.add_switch(AtmSwitch(sim, "fore-sw",
+                                         switching_latency_s=switch_latency_s))
+    stacks = []
+    for i in range(n_hosts):
+        name = _host_name(i)
+        host = Host(sim, name, cpu=params.cpu, os=params.os, tracer=tracer)
+        nic = EthernetNic(sim, lan, name)
+        host.attach_interface("ethernet", nic)
+        sba = Sba200Adapter(sim, name, train_cells=train_cells)
+        host.attach_interface("atm", sba)
+        fabric.add_adapter(sba)
+        rng = rngs.stream(f"link.{name}")
+        fabric.connect(sba, switch, link_spec, rng_a=rng, rng_b=rng)
+        atm_api = AtmApi(host)
+        eth_adapter = EthernetIpAdapter(nic)
+        ip = IpLayer(sim, name, eth_adapter)
+        eth_adapter.bind(ip)
+        tcp = TcpStack(host, ip, tcp_params)
+        stacks.append(NodeStack(
+            host=host, process=OsProcess(host, pid=i), ip=ip, tcp=tcp,
+            socket=SocketLayer(host, tcp), udp=UdpStack(host, ip),
+            atm_api=atm_api))
+    sig = SignalingController(fabric)
+    cluster = Cluster(sim=sim, rngs=rngs, tracer=tracer, stacks=stacks,
+                      medium="atm-dual", lan=lan, fabric=fabric,
+                      signaling=sig)
+    # the fabric carries only the raw HSM PVC mesh; IP rides the Ethernet
     for i in range(n_hosts):
         for j in range(n_hosts):
             if i != j:

@@ -1,0 +1,118 @@
+"""Adaptive error control: Jacobson RTT estimation for the EC thread.
+
+The fixed ``timeout_s`` of :class:`AckRetransmitErrorControl` is a
+landmine on a WAN path: too short and every ACK that takes the scenic
+route triggers a spurious retransmission, too long and a genuinely lost
+PDU stalls the pipeline.  This subclass replaces it with the TCP
+estimator (Jacobson 1988, RFC 6298):
+
+    SRTT   <- (1-alpha)*SRTT + alpha*sample
+    RTTVAR <- (1-beta)*RTTVAR + beta*|SRTT - sample|
+    RTO    <- clamp(SRTT + 4*RTTVAR, min_rto_s, max_rto_s)
+
+sampled from send→ACK round trips, with Karn's rule: a message that was
+ever retransmitted contributes no sample (its ACK is ambiguous).
+
+Two give-up policies stack on top of the base class's retry count:
+
+* ``retry_budget_s`` — a per-message wall: total time spent
+  retransmitting one message may not exceed this budget;
+* message deadlines (``NCS_send(..., deadline=t)``) — handled by the
+  base class; retransmission stops once the data is stale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..registry import ERROR_CONTROLS
+from ..core.mps.error_control import AckRetransmitErrorControl
+
+__all__ = ["AdaptiveAckErrorControl"]
+
+
+@ERROR_CONTROLS.register("adaptive")
+class AdaptiveAckErrorControl(AckRetransmitErrorControl):
+    """Positive-ack retransmission with an adaptive (SRTT/RTTVAR) RTO."""
+
+    name = "adaptive"
+
+    def __init__(self, timeout_s: float = 0.05, max_retries: int = 8,
+                 check_interval_s: float = 0.01,
+                 dedup_capacity: int = 65536,
+                 min_rto_s: float = 0.005, max_rto_s: float = 2.0,
+                 alpha: float = 0.125, beta: float = 0.25,
+                 retry_budget_s: Optional[float] = None):
+        super().__init__(timeout_s, max_retries, check_interval_s,
+                         dedup_capacity)
+        if not (0 < min_rto_s <= max_rto_s):
+            raise ValueError("need 0 < min_rto_s <= max_rto_s")
+        if not (0 < alpha < 1 and 0 < beta < 1):
+            raise ValueError("alpha and beta must be in (0, 1)")
+        if retry_budget_s is not None and retry_budget_s <= 0:
+            raise ValueError("retry_budget_s must be positive")
+        self.min_rto_s = min_rto_s
+        self.max_rto_s = max_rto_s
+        self.alpha = alpha
+        self.beta = beta
+        self.retry_budget_s = retry_budget_s
+        #: current retransmission timeout (timeout_s until first sample)
+        self.rto = max(min(timeout_s, max_rto_s), min_rto_s)
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        #: statistics
+        self.rtt_samples = 0
+        self.budget_exhausted = 0
+
+    def bind(self, mps) -> None:
+        super().bind(mps)
+        self._m_rto = mps.sim.metrics.gauge(
+            "ec.rto", help="current adaptive retransmission timeout (s)",
+            pid=mps.pid)
+        self._m_rto.set(self.rto)
+
+    def _initial_timeout(self) -> float:
+        return self.rto
+
+    # ----------------------------------------------------------- estimation
+    def on_sent(self, msg) -> None:
+        uid = self._uid(msg.msg_uid)
+        if uid not in self._unacked:
+            # 4th slot: first-transmission time, for RTT samples (Karn:
+            # only entries still at 0 retries produce one) and the
+            # per-message retry budget
+            self._unacked[uid] = [msg, self.sim.now + self._initial_timeout(),
+                                  0, self.sim.now]
+            self._kick()
+
+    def on_ack(self, msg_uid) -> None:
+        entry = self._unacked.pop(self._uid(msg_uid), None)
+        if entry is None:
+            return
+        if entry[2] == 0:
+            self._sample(self.sim.now - entry[3])
+        self.mps.transport.on_delivery_confirmed(entry[0])
+
+    def _sample(self, rtt: float) -> None:
+        if rtt < 0:   # pragma: no cover - sim time is monotonic
+            return
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2
+        else:
+            self.rttvar = ((1 - self.beta) * self.rttvar
+                           + self.beta * abs(self.srtt - rtt))
+            self.srtt = (1 - self.alpha) * self.srtt + self.alpha * rtt
+        self.rtt_samples += 1
+        self.rto = max(self.min_rto_s,
+                       min(self.srtt + 4 * self.rttvar, self.max_rto_s))
+        self._m_rto.set(self.rto)
+
+    # ------------------------------------------------------------- give-up
+    def _retransmit(self, uid, entry):
+        if (self.retry_budget_s is not None
+                and self.sim.now - entry[3] >= self.retry_budget_s):
+            self.budget_exhausted += 1
+            self._give_up(uid, entry[0], "budget-exhausted")
+            return
+        yield from super()._retransmit(uid, entry)

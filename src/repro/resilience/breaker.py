@@ -1,0 +1,110 @@
+"""Per-peer circuit breaker over the HSM/ATM path.
+
+The degradation ladder of the self-healing NCS: HSM send failures
+(CRC storms, retry exhaustion, a downed TAXI link) trip the breaker and
+traffic to that peer fails over to the NSM/TCP tier; after
+``reset_timeout_s`` of simulated time the breaker goes half-open and
+lets probe traffic try the fast path again, closing after
+``probe_successes`` consecutive confirmed deliveries.
+
+The breaker never sees wall-clock time — all timing is simulated-time
+(``sim.now``), so breaker trajectories are bit-identical across
+same-seed runs and safe under the determinism wall.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Optional
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    #: healthy: traffic uses the protected (HSM) path
+    CLOSED = "closed"
+    #: tripped: traffic detours to the fallback (NSM) path
+    OPEN = "open"
+    #: probing: traffic tries the protected path again
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Classic three-state breaker driven by delivery feedback.
+
+    * CLOSED → OPEN after ``failure_threshold`` *consecutive* failures;
+    * OPEN → HALF_OPEN once ``reset_timeout_s`` of sim time has passed
+      (evaluated lazily on the next :meth:`allow` call — no timers);
+    * HALF_OPEN → CLOSED after ``probe_successes`` consecutive
+      successes, or straight back to OPEN on any failure.
+    """
+
+    def __init__(self, sim: Any, failure_threshold: int = 3,
+                 reset_timeout_s: float = 0.2, probe_successes: int = 2,
+                 on_transition: Optional[
+                     Callable[[BreakerState, BreakerState], None]] = None):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout_s <= 0:
+            raise ValueError("reset_timeout_s must be positive")
+        if probe_successes < 1:
+            raise ValueError("probe_successes must be >= 1")
+        self.sim = sim
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.probe_successes = probe_successes
+        self.on_transition = on_transition
+        self.state = BreakerState.CLOSED
+        self._failures = 0
+        self._successes = 0
+        self._open_until = 0.0
+        #: lifetime statistics
+        self.trips = 0
+        self.recoveries = 0
+
+    def _move(self, new: BreakerState) -> None:
+        old, self.state = self.state, new
+        if self.on_transition is not None:
+            self.on_transition(old, new)
+
+    def allow(self) -> bool:
+        """May the next message use the protected path?"""
+        if self.state is BreakerState.OPEN:
+            if self.sim.now >= self._open_until:
+                self._successes = 0
+                self._move(BreakerState.HALF_OPEN)
+            else:
+                return False
+        return True
+
+    def record_failure(self) -> None:
+        """A message on the protected path is presumed lost."""
+        self._successes = 0
+        if self.state is BreakerState.HALF_OPEN:
+            self._trip()
+        elif self.state is BreakerState.CLOSED:
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._trip()
+        # OPEN: stragglers from before the trip carry no new information
+
+    def record_success(self) -> None:
+        """A message on the protected path was acknowledged."""
+        if self.state is BreakerState.HALF_OPEN:
+            self._successes += 1
+            if self._successes >= self.probe_successes:
+                self._failures = 0
+                self.recoveries += 1
+                self._move(BreakerState.CLOSED)
+        elif self.state is BreakerState.CLOSED:
+            self._failures = 0
+
+    def _trip(self) -> None:
+        self._failures = 0
+        self._open_until = self.sim.now + self.reset_timeout_s
+        self.trips += 1
+        self._move(BreakerState.OPEN)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<CircuitBreaker {self.state.value} "
+                f"failures={self._failures} trips={self.trips}>")

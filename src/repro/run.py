@@ -45,10 +45,24 @@ def _list_components() -> str:
     return "\n".join(lines)
 
 
+#: cluster-wide resilience counters surfaced after a [resilience] run
+_RESILIENCE_METRICS = (
+    "resilience.failovers", "resilience.breaker_trips",
+    "resilience.breaker_recoveries", "resilience.deaths",
+    "resilience.rejoins", "resilience.reassigned_units",
+)
+
+
 def _summarize(result) -> str:
     spec = result.spec
     head = f"scenario {spec.name!r} [{spec.digest()}]: done"
     rows = [f"  {k:<16} {v}" for k, v in result.summary().items()]
+    if spec.resilience is not None and result.cluster is not None:
+        metrics = result.cluster.metrics
+        for name in _RESILIENCE_METRICS:
+            total = metrics.total(name)
+            if total:
+                rows.append(f"  {name:<32} {total:g}")
     rows += [f"  exported         {p}" for p in result.exported]
     return "\n".join([head] + rows)
 

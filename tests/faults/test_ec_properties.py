@@ -29,7 +29,10 @@ def make_ec(timeout_s=0.05, max_retries=3):
         sim=sim, pid=0,
         host=SimpleNamespace(tracer=NullTracer(sim)),
         transport=SimpleNamespace(
-            start_send=lambda msg: Event(sim, name="accepted")),
+            start_send=lambda msg: Event(sim, name="accepted"),
+            # the NcsTransport delivery-feedback hooks (no-ops by default)
+            on_path_suspect=lambda msg: None,
+            on_delivery_confirmed=lambda msg: None),
         lost=[])
     stub.on_message_lost = stub.lost.append
     ec.bind(stub)
@@ -62,7 +65,8 @@ class TestBackoff:
     @settings(max_examples=25, deadline=None)
     def test_backoff_doubles_then_gives_up(self, timeout, retries):
         sim, ec, stub = make_ec(timeout_s=timeout, max_retries=retries)
-        msg = SimpleNamespace(msg_uid=(0, 1))
+        # real NcsMessages always carry a deadline (possibly None)
+        msg = SimpleNamespace(msg_uid=(0, 1), deadline=None)
         ec.on_sent(msg)
         entry = ec._unacked[(0, 1)]
         assert entry[1] == pytest.approx(sim.now + timeout)

@@ -1,0 +1,105 @@
+"""Unit tests for the per-peer circuit breaker state machine."""
+
+import pytest
+
+from repro.resilience import BreakerState, CircuitBreaker
+from repro.sim import Simulator
+
+
+def advance(sim, dt):
+    def body():
+        yield sim.timeout(dt)
+    sim.run_process(body())
+
+
+def make(sim=None, **kw):
+    sim = sim or Simulator()
+    kw.setdefault("failure_threshold", 3)
+    kw.setdefault("reset_timeout_s", 0.2)
+    kw.setdefault("probe_successes", 2)
+    return sim, CircuitBreaker(sim, **kw)
+
+
+def test_starts_closed_and_allows():
+    _, br = make()
+    assert br.state is BreakerState.CLOSED
+    assert br.allow()
+
+
+def test_trips_after_consecutive_failures():
+    _, br = make()
+    br.record_failure()
+    br.record_failure()
+    assert br.state is BreakerState.CLOSED
+    br.record_failure()
+    assert br.state is BreakerState.OPEN
+    assert br.trips == 1
+    assert not br.allow()
+
+
+def test_success_resets_the_failure_streak():
+    _, br = make()
+    br.record_failure()
+    br.record_failure()
+    br.record_success()
+    br.record_failure()
+    br.record_failure()
+    assert br.state is BreakerState.CLOSED  # streak broken, no trip
+
+
+def test_half_open_after_reset_timeout_then_closes():
+    sim, br = make()
+    for _ in range(3):
+        br.record_failure()
+    assert not br.allow()
+    advance(sim, 0.25)
+    assert br.allow()                            # lazily goes half-open
+    assert br.state is BreakerState.HALF_OPEN
+    br.record_success()
+    assert br.state is BreakerState.HALF_OPEN    # needs 2 probe successes
+    br.record_success()
+    assert br.state is BreakerState.CLOSED
+    assert br.recoveries == 1
+
+
+def test_half_open_failure_retrips_immediately():
+    sim, br = make()
+    for _ in range(3):
+        br.record_failure()
+    advance(sim, 0.25)
+    assert br.allow()
+    br.record_failure()                          # one failed probe is enough
+    assert br.state is BreakerState.OPEN
+    assert br.trips == 2
+    assert not br.allow()
+
+
+def test_straggler_failures_while_open_are_ignored():
+    _, br = make()
+    for _ in range(5):
+        br.record_failure()
+    assert br.trips == 1                         # no double trip
+
+
+def test_transition_callback_sees_every_edge():
+    edges = []
+    sim, br = make()
+    br.on_transition = lambda old, new: edges.append((old.value, new.value))
+    for _ in range(3):
+        br.record_failure()
+    advance(sim, 0.25)
+    br.allow()
+    br.record_success()
+    br.record_success()
+    assert edges == [("closed", "open"), ("open", "half-open"),
+                     ("half-open", "closed")]
+
+
+def test_rejects_bad_parameters():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        CircuitBreaker(sim, failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(sim, reset_timeout_s=0.0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(sim, probe_successes=0)

@@ -1,0 +1,63 @@
+"""ResilienceSpec: validation, canonical form, materialization."""
+
+import pytest
+
+from repro.config import ResilienceSpec, ScenarioSpec, SpecError, loads_scenario
+from repro.resilience import ClusterResilience
+
+
+def test_defaults_round_trip_through_canonical_form():
+    spec = ResilienceSpec()
+    d = spec.to_dict()
+    assert d == {"enabled": True}            # defaults pruned, enabled kept
+    assert ResilienceSpec.from_dict(d) == spec
+
+
+def test_non_defaults_survive_round_trip():
+    spec = ResilienceSpec(dead_after_s=0.5, failure_threshold=5)
+    again = ResilienceSpec.from_dict(spec.to_dict())
+    assert again == spec
+    assert again.to_dict()["dead_after_s"] == 0.5
+
+
+def test_timing_ladder_is_validated():
+    with pytest.raises(SpecError):
+        ResilienceSpec(heartbeat_interval_s=0.1, suspect_after_s=0.05)
+    with pytest.raises(SpecError):
+        ResilienceSpec(suspect_after_s=0.2, dead_after_s=0.1)
+    with pytest.raises(SpecError):
+        ResilienceSpec(failure_threshold=0)
+
+
+def test_build_materializes_cluster_resilience():
+    res = ResilienceSpec(failure_threshold=4).build()
+    assert isinstance(res, ClusterResilience)
+    assert res.failure_threshold == 4
+    assert ResilienceSpec(enabled=False).build() is None
+
+
+def test_scenario_table_parses_and_feeds_the_digest():
+    toml = """
+name = "r"
+[cluster]
+topology = "atm-lan"
+n_hosts = 2
+[resilience]
+dead_after_s = 0.5
+"""
+    spec = loads_scenario(toml, format="toml")
+    assert spec.resilience.dead_after_s == 0.5
+    bare = loads_scenario('name = "r"\n[cluster]\ntopology = "atm-lan"\n'
+                          'n_hosts = 2\n', format="toml")
+    assert spec.digest() != bare.digest()
+
+
+def test_unknown_resilience_key_is_rejected():
+    with pytest.raises(SpecError):
+        ResilienceSpec.from_dict({"heartbeat_every": 0.1})
+
+
+def test_spec_without_resilience_builds_none():
+    spec = ScenarioSpec(name="x", cluster={"topology": "atm-lan",
+                                           "n_hosts": 2})
+    assert spec.resilience is None
