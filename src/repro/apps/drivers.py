@@ -144,8 +144,11 @@ def _pingpong(run):
 def _ring(run):
     """The perf-lock ``ring_atm_hsm``/``chaos_loss`` body, parameterized.
 
-    Uses every host in the spec-built cluster; declare the closing
-    barrier in the scenario (``[runtime.barriers] 0 = n_hosts``)."""
+    Uses every host in the spec-built cluster.  The closing barrier can
+    be declared in the scenario (``[runtime.barriers] 0 = n_hosts``);
+    when it isn't, the driver registers it for all hosts itself, so a
+    matrix sweep over ``cluster.n_hosts`` needs no per-cell barrier
+    table."""
     p = run.params
     rounds = int(p.get("rounds", 2))
     nbytes = int(p.get("nbytes", 4096))
@@ -153,6 +156,8 @@ def _ring(run):
     barrier_id = int(p.get("barrier", 0))
     rt = run.runtime
     n = run.cluster.n_hosts
+    if barrier_id not in rt.nodes[0].mps.barrier_parties:
+        rt.register_barrier(barrier_id, n)
     received = {pid: [] for pid in range(n)}
 
     def body(ctx, pid):

@@ -43,6 +43,12 @@ BARRIER_COORDINATOR = 0
 #: nominal wire size of MPS control messages
 CONTROL_BYTES = 8
 
+#: ``mps.delivery_latency_s`` histogram bucket bounds — log-ish spacing
+#: from adapter-level microseconds up to WAN/retransmission seconds, fine
+#: enough for meaningful p50/p99 extraction (repro.obs.kpi)
+LATENCY_BUCKETS = (1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
+                   1e-1, 3e-1, 1.0, 3.0)
+
 #: message kinds the EC thread tracks (acked, deduplicated and
 #: retransmitted).  ACK/NACK are excluded: acking acks never converges —
 #: a lost ACK is recovered by the duplicate-suppressed retransmission it
@@ -137,6 +143,10 @@ class NcsMps:
             "mps.message_bytes", help="DATA message size distribution",
             buckets=(64, 1024, 8 * 1024, 64 * 1024, 1024 * 1024),
             pid=self.pid)
+        self._m_latency = _m.histogram(
+            "mps.delivery_latency_s",
+            help="NCS_send issue to NCS_recv delivery, simulated seconds",
+            buckets=LATENCY_BUCKETS, pid=self.pid)
         # wire up
         transport.set_delivery_handler(self._on_arrival)
         self.send_tid = scheduler.t_create(
@@ -192,7 +202,8 @@ class NcsMps:
             from_thread=thread.tid, from_process=self.pid,
             to_thread=op.to_thread, to_process=op.to_process,
             data=op.data, size=op.size, tag=op.tag,
-            msg_uid=self._next_uid(), deadline=op.deadline)
+            msg_uid=self._next_uid(), deadline=op.deadline,
+            sent_at=self.sim.now)
         self.data_sent += 1
         self._m_sent.inc()
         self._m_bytes.observe(op.size)
@@ -230,7 +241,7 @@ class NcsMps:
                 from_thread=thread.tid, from_process=self.pid,
                 to_thread=ttid, to_process=tpid,
                 data=op.data, size=op.size, tag=op.tag,
-                msg_uid=self._next_uid())
+                msg_uid=self._next_uid(), sent_at=self.sim.now)
             self.data_sent += 1
             self._m_sent.inc()
             self._m_bytes.observe(op.size)
@@ -501,6 +512,8 @@ class NcsMps:
                 self.fc.on_data_delivered(msg)
             self.data_received += 1
             self._m_received.inc()
+            if msg.sent_at is not None:
+                self._m_latency.observe(self.sim.now - msg.sent_at)
             self.scheduler.wake_from_op(req.thread.tid, value=msg)
 
     # --------------------------------------------------------------- cleanup

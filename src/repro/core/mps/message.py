@@ -56,6 +56,10 @@ class NcsMessage:
     #: absolute simulated-time delivery deadline; error control stops
     #: retransmitting past it (None = deliver at any cost)
     deadline: "float | None" = None
+    #: simulated time the originating NCS_send/bcast was issued; feeds
+    #: the ``mps.delivery_latency_s`` histogram at recv delivery (None
+    #: for MPS-internal control traffic, which is never latency-scored)
+    sent_at: "float | None" = None
 
     def __post_init__(self) -> None:
         if self.size < 0:

@@ -21,7 +21,16 @@ from __future__ import annotations
 
 from typing import Any
 
-__all__ = ["cluster_report", "render_report"]
+__all__ = ["cluster_report", "render_report", "RESILIENCE_COUNTERS"]
+
+#: cluster-wide self-healing counters; always reported (zeros when the
+#: resilience layer is off) so downstream consumers — ``repro.run
+#: --report``, the fleet KPI extractor — see one stable schema
+RESILIENCE_COUNTERS = (
+    "resilience.failovers", "resilience.breaker_trips",
+    "resilience.breaker_recoveries", "resilience.deaths",
+    "resilience.rejoins", "resilience.reassigned_units",
+)
 
 
 def cluster_report(cluster, runtime=None, scenario=None) -> dict:
@@ -108,7 +117,20 @@ def _report_from_registry(cluster, runtime, m) -> dict:
                 "ec_retransmissions": m.value("ec.retransmissions", pid=pid),
             }
         report["ncs"] = ncs
+        report["resilience"] = _resilience_totals(m)
     return report
+
+
+def _resilience_totals(m) -> dict:
+    """``{counter: cluster total}`` for every self-healing counter.
+
+    Totals come straight from the registry; a run without a
+    ``[resilience]`` table simply never incremented them, so the section
+    reports zeros instead of disappearing — KPI extraction and report
+    diffing rely on the schema being identical either way.
+    """
+    return {name.split(".", 1)[1]: m.total(name)
+            for name in RESILIENCE_COUNTERS}
 
 
 def _report_from_public_counters(cluster, runtime) -> dict:
@@ -163,6 +185,10 @@ def _report_from_public_counters(cluster, runtime) -> dict:
                                               "retransmissions", 0),
             }
         report["ncs"] = ncs
+        # same schema as the registry path; with telemetry disabled the
+        # self-healing layer keeps no public counters, so these are zeros
+        report["resilience"] = {name.split(".", 1)[1]: 0
+                                for name in RESILIENCE_COUNTERS}
     return report
 
 

@@ -1,0 +1,197 @@
+"""KPI extraction: one typed row per scenario run.
+
+A :class:`~repro.obs.MetricsRegistry` snapshot is exact but wide —
+hundreds of label sets across a dozen metric families.  This module
+reduces it (plus the driver's summary) to the handful of numbers an
+experimenter actually regresses on: makespan, goodput, loss and
+retransmission rates, fault/self-healing counts, and delivery-latency
+quantiles pulled from the ``mps.delivery_latency_s`` histogram via
+:mod:`repro.obs.kpi`.
+
+Every row always carries every field — absent layers read as zeros
+(resilience counters) or ``None`` (latency quantiles when nothing was
+delivered) — so KPI documents from different scenarios diff cleanly
+against each other and against checked-in baselines
+(:mod:`repro.fleet.diff`).  Derived floats are rounded to fixed
+precision so documents are byte-stable across platforms.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+from ..diagnostics import RESILIENCE_COUNTERS
+from ..obs.kpi import counter_total, histogram_family, histogram_quantile
+
+__all__ = ["KpiRow", "extract_kpis", "goodput", "render_table",
+           "write_kpi_doc", "load_kpi_doc", "KPI_SCHEMA"]
+
+#: bumped when row fields change shape (forces a golden regeneration)
+KPI_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class KpiRow:
+    """The per-run KPI vector. Field order is the document order."""
+
+    scenario: str
+    digest: str
+    makespan_s: Optional[float]
+    messages_sent: int
+    messages_delivered: int
+    messages_lost: int
+    app_bytes: int
+    goodput_bytes_s: float
+    retransmissions: int
+    retransmit_rate: float
+    faults_injected: int
+    failovers: int
+    breaker_trips: int
+    breaker_recoveries: int
+    deaths: int
+    rejoins: int
+    reassigned_units: int
+    p50_delivery_s: Optional[float]
+    p99_delivery_s: Optional[float]
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, raw: Mapping) -> "KpiRow":
+        return cls(**{f.name: raw.get(f.name)
+                      for f in dataclasses.fields(cls)})
+
+
+def goodput(app_bytes: float, sent: int, delivered: int,
+            makespan_s: Optional[float]) -> float:
+    """Delivered application bytes per simulated second.
+
+    ``app_bytes`` is what senders put on the wire; scaling by the
+    delivered fraction credits only what arrived.  Zero guards: no
+    traffic or no (or zero) makespan reads as zero goodput, never a
+    division error.
+    """
+    if not sent or not makespan_s:
+        return 0.0
+    return app_bytes * (delivered / sent) / makespan_s
+
+
+def _round(value: Optional[float], digits: int) -> Optional[float]:
+    return None if value is None else round(value, digits)
+
+
+def extract_kpis(spec, snapshot: Mapping[str, Any],
+                 summary: Optional[Mapping[str, Any]] = None) -> KpiRow:
+    """Reduce a run (spec + metrics snapshot + driver summary) to KPIs."""
+    summary = summary or {}
+    sent = int(counter_total(snapshot, "mps.data_sent"))
+    delivered = int(counter_total(snapshot, "mps.data_received"))
+    bytes_hist = histogram_family(snapshot, "mps.message_bytes")
+    app_bytes = int(bytes_hist["sum"]) if bytes_hist else 0
+    retrans = int(counter_total(snapshot, "ec.retransmissions")
+                  + counter_total(snapshot, "tcp.retransmissions"))
+    makespan = summary.get("makespan_s")
+    if not isinstance(makespan, (int, float)) or isinstance(makespan, bool):
+        makespan = None
+    latency = histogram_family(snapshot, "mps.delivery_latency_s")
+    resilience = {name.split(".", 1)[1]: int(counter_total(snapshot, name))
+                  for name in RESILIENCE_COUNTERS}
+    return KpiRow(
+        scenario=spec.name,
+        digest=spec.digest(),
+        makespan_s=_round(makespan, 9),
+        messages_sent=sent,
+        messages_delivered=delivered,
+        messages_lost=int(counter_total(snapshot, "mps.messages_lost")),
+        app_bytes=app_bytes,
+        goodput_bytes_s=round(goodput(app_bytes, sent, delivered,
+                                      makespan), 3),
+        retransmissions=retrans,
+        retransmit_rate=round(retrans / sent, 6) if sent else 0.0,
+        faults_injected=int(counter_total(snapshot, "faults.events_begun")),
+        p50_delivery_s=_round(histogram_quantile(latency, 0.50), 9),
+        p99_delivery_s=_round(histogram_quantile(latency, 0.99), 9),
+        **resilience,
+    )
+
+
+# ---------------------------------------------------------------- documents
+
+def kpi_doc(fleet_name: str, rows: Mapping[str, Any]) -> dict:
+    """The persistable KPI document. ``rows`` values are KpiRow, plain
+    row dicts, or ``{"error": ...}`` markers for failed runs."""
+    out = {}
+    for run_id, row in rows.items():
+        out[run_id] = row.to_dict() if isinstance(row, KpiRow) else dict(row)
+    return {"schema": KPI_SCHEMA, "fleet": fleet_name, "rows": out}
+
+
+def write_kpi_doc(doc: Mapping, path: str | Path) -> Path:
+    """Byte-stable on purpose: sorted keys, fixed indent, no timestamps —
+    same fleet, same seeds -> byte-identical file (the determinism tests
+    assert exactly that)."""
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_kpi_doc(path: str | Path) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+# ------------------------------------------------------------------- table
+
+_TABLE_COLUMNS = (
+    # (header, row-dict key, format)
+    ("run", None, "s"),
+    ("makespan_s", "makespan_s", ".6f"),
+    ("goodput_B/s", "goodput_bytes_s", ".0f"),
+    ("sent", "messages_sent", "d"),
+    ("dlvd", "messages_delivered", "d"),
+    ("lost", "messages_lost", "d"),
+    ("retx", "retransmissions", "d"),
+    ("faults", "faults_injected", "d"),
+    ("failover", "failovers", "d"),
+    ("reassign", "reassigned_units", "d"),
+    ("p50_ms", "p50_delivery_s", "ms"),
+    ("p99_ms", "p99_delivery_s", "ms"),
+)
+
+
+def _cell(row: Mapping, key: Optional[str], fmt: str) -> str:
+    value = row.get(key) if key else None
+    if value is None:
+        return "-"
+    if fmt == "ms":
+        return f"{value * 1e3:.3f}"
+    return format(value, fmt)
+
+
+def render_table(rows: Mapping[str, Any]) -> str:
+    """An aligned text table of every run's KPIs (errors flagged inline)."""
+    table: list[list[str]] = [[h for h, _, _ in _TABLE_COLUMNS]]
+    for run_id, row in rows.items():
+        if isinstance(row, KpiRow):
+            row = row.to_dict()
+        if "error" in row:
+            table.append([run_id, f"ERROR: {row['error']}"]
+                         + [""] * (len(_TABLE_COLUMNS) - 2))
+            continue
+        table.append([run_id] + [_cell(row, key, fmt)
+                                 for _, key, fmt in _TABLE_COLUMNS[1:]])
+    widths = [max(len(r[i]) for r in table)
+              for i in range(len(_TABLE_COLUMNS))]
+    lines = []
+    for i, row in enumerate(table):
+        lines.append("  ".join(
+            cell.ljust(w) if j == 0 else cell.rjust(w)
+            for j, (cell, w) in enumerate(zip(row, widths))).rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Execute a fleet of scenarios across a process pool.
+
+Each run is a pure function of its spec document: the worker rebuilds
+the :class:`~repro.config.ScenarioSpec` from canonical JSON, runs it
+through :func:`repro.config.run_scenario` (fresh cluster, fresh
+metrics registry — process isolation makes cross-run leakage
+structurally impossible), reduces the metrics snapshot to a
+:class:`~repro.fleet.kpis.KpiRow`, and persists per-run artifacts.
+Because workers share nothing and results are collected in submission
+order, ``jobs=1`` and ``jobs=N`` produce byte-identical KPI documents
+— the determinism tests hold the runner to exactly that.
+
+A failing run (driver exception, spec/build error) never takes the
+fleet down: its row becomes an ``{"error": ...}`` marker that renders
+in the table, fails a ``--check``, and leaves every other run's KPIs
+intact.
+"""
+
+from __future__ import annotations
+
+import json
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from ..config.fleet import FleetSpec
+from .kpis import kpi_doc
+
+__all__ = ["RunOutcome", "FleetResult", "run_fleet"]
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """One scenario's result: a KPI row or an error marker."""
+
+    run_id: str
+    ok: bool
+    row: Optional[dict] = None          # KpiRow.to_dict() when ok
+    error: Optional[str] = None
+    artifacts: tuple = ()
+
+    def doc_row(self) -> dict:
+        return dict(self.row) if self.ok else {"error": self.error}
+
+
+@dataclass
+class FleetResult:
+    """Every outcome, in the fleet's deterministic run order."""
+
+    fleet: str
+    outcomes: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    def rows(self) -> dict:
+        return {o.run_id: o.doc_row() for o in self.outcomes}
+
+    def kpi_doc(self) -> dict:
+        return kpi_doc(self.fleet, self.rows())
+
+    def errors(self) -> list:
+        return [(o.run_id, o.error) for o in self.outcomes if not o.ok]
+
+
+def _run_dir_name(run_id: str) -> str:
+    """Run ids become directory names; '/' is the only unsafe char."""
+    return run_id.replace("/", "_")
+
+
+def _execute_one(run_id: str, doc_json: str,
+                 artifacts_dir: Optional[str]) -> dict:
+    """One worker task; module-level so it pickles into pool workers.
+
+    Returns a plain dict (not RunOutcome) to keep the pool protocol to
+    stdlib types.  Never raises: any failure is folded into the result.
+    """
+    from ..config import ScenarioSpec, ensure_components, run_scenario
+    from .kpis import extract_kpis
+    try:
+        ensure_components()
+        spec = ScenarioSpec.from_dict(json.loads(doc_json))
+        result = run_scenario(spec)
+        snapshot = (result.cluster.metrics.snapshot()
+                    if result.cluster is not None else {})
+        row = extract_kpis(spec, snapshot, result.summary())
+        artifacts = list(result.exported)
+        if artifacts_dir is not None:
+            run_dir = Path(artifacts_dir) / _run_dir_name(run_id)
+            run_dir.mkdir(parents=True, exist_ok=True)
+            metrics_path = run_dir / "metrics.json"
+            metrics_path.write_text(
+                json.dumps(snapshot, indent=1, sort_keys=True) + "\n")
+            artifacts.append(str(metrics_path))
+            if spec.obs.trace and result.cluster is not None:
+                from ..obs import export_chrome_trace
+                trace_path = run_dir / "trace.json"
+                export_chrome_trace(result.cluster.tracer, trace_path,
+                                    metrics=result.cluster.metrics)
+                artifacts.append(str(trace_path))
+        return {"run_id": run_id, "ok": True, "row": row.to_dict(),
+                "artifacts": artifacts}
+    except Exception as e:                      # noqa: BLE001 — fleet runs
+        # must survive any one scenario failing, whatever the cause
+        return {"run_id": run_id, "ok": False,
+                "error": f"{type(e).__name__}: {e}",
+                "trace": traceback.format_exc()}
+
+
+def _to_outcome(raw: dict) -> RunOutcome:
+    return RunOutcome(run_id=raw["run_id"], ok=raw["ok"],
+                      row=raw.get("row"), error=raw.get("error"),
+                      artifacts=tuple(raw.get("artifacts", ())))
+
+
+def run_fleet(fleet: FleetSpec, jobs: int = 1,
+              results_dir: Optional[str | Path] = None,
+              progress: Optional[Callable[[RunOutcome], Any]] = None,
+              ) -> FleetResult:
+    """Run every scenario in ``fleet``; outcomes keep fleet order.
+
+    ``jobs=1`` runs inline (no pool, easiest to debug); ``jobs>1``
+    fans out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+    ``results_dir`` enables per-run artifacts (``<dir>/<run_id>/
+    metrics.json`` plus ``trace.json`` for tracing scenarios).
+    ``progress`` is called with each :class:`RunOutcome` as it lands,
+    in fleet order.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1 (got {jobs})")
+    if results_dir is not None:
+        results_dir = str(Path(results_dir))
+        Path(results_dir).mkdir(parents=True, exist_ok=True)
+    tasks = [(run_id, spec.canonical_json(), results_dir)
+             for run_id, spec in fleet.runs]
+    result = FleetResult(fleet=fleet.name)
+    if jobs == 1 or len(tasks) == 1:
+        raws = (_execute_one(*task) for task in tasks)
+    else:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(tasks)))
+        with pool:
+            futures = [pool.submit(_execute_one, *task) for task in tasks]
+            raws = (f.result() for f in futures)
+            raws = list(raws)   # drain inside the pool context
+    for raw in raws:
+        outcome = _to_outcome(raw)
+        result.outcomes.append(outcome)
+        if progress is not None:
+            progress(outcome)
+    return result

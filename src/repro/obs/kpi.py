@@ -1,0 +1,127 @@
+"""Snapshot → KPI adapters: reduce registry snapshots to scalars.
+
+:meth:`~repro.obs.MetricsRegistry.snapshot` returns the full nested
+``{metric: {label-set: value}}`` document — exact, deterministic, and
+far too wide to diff run-over-run by eye.  This module is the thin
+layer the fleet KPI extractor (:mod:`repro.fleet.kpis`) stands on: it
+collapses a snapshot's per-label families into cluster totals and pulls
+quantiles out of histogram bucket counts, *without* touching live
+instruments — everything here operates on the plain-dict snapshot, so
+it works identically on a fresh run, a persisted ``metrics.json``
+artifact, or a snapshot embedded in a Chrome trace.
+
+Quantiles use the classic Prometheus-style scheme — nearest rank over
+cumulative bucket counts with linear interpolation inside the target
+bucket — tightened by the exact ``min``/``max`` every
+:class:`~repro.obs.Histogram` snapshot carries: the first bucket's lower
+edge is the true minimum, the ``+inf`` bucket's upper edge is the true
+maximum, and results are clamped to ``[min, max]``.  A one-observation
+histogram therefore yields the exact observation at every ``q``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping, Optional
+
+__all__ = ["counter_total", "merge_histograms", "histogram_family",
+           "histogram_quantile"]
+
+
+def counter_total(snapshot: Mapping[str, Mapping[str, Any]], name: str,
+                  default: float = 0) -> float:
+    """Sum a scalar metric (counter/gauge) across every label set.
+
+    ``default`` when the metric never registered — the stable-schema
+    guarantee: absent layers read as zero, not as a missing key.
+    """
+    family = snapshot.get(name)
+    if not family:
+        return default
+    return sum(family.values())
+
+
+def merge_histograms(family: Mapping[str, Mapping[str, Any]]) -> dict:
+    """Merge one histogram metric's per-label snapshots into a single
+    cluster-wide histogram dict (same shape as each input).
+
+    Bucket count maps are merged by key union, so families recorded with
+    different bucket layouts still combine; ``min``/``max`` stay exact.
+    """
+    buckets: dict[str, int] = {}
+    total_count = 0
+    total_sum = 0.0
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+    for hist in family.values():
+        for bound, count in hist["buckets"].items():
+            buckets[bound] = buckets.get(bound, 0) + count
+        total_count += hist["count"]
+        total_sum += hist["sum"]
+        if hist["min"] is not None and (lo is None or hist["min"] < lo):
+            lo = hist["min"]
+        if hist["max"] is not None and (hi is None or hist["max"] > hi):
+            hi = hist["max"]
+    return {"count": total_count, "sum": total_sum,
+            "min": lo, "max": hi, "buckets": buckets}
+
+
+def histogram_family(snapshot: Mapping[str, Mapping[str, Any]],
+                     name: str) -> Optional[dict]:
+    """The cluster-wide merged histogram for ``name`` (None if absent)."""
+    family = snapshot.get(name)
+    if not family:
+        return None
+    return merge_histograms(family)
+
+
+def _bounds(hist: Mapping[str, Any]) -> list[tuple[float, int]]:
+    """``(upper-bound, count)`` pairs in ascending bound order, the
+    ``+inf`` bucket last."""
+    finite = sorted((float(b), c) for b, c in hist["buckets"].items()
+                    if b != "+inf")
+    finite.append((math.inf, hist["buckets"].get("+inf", 0)))
+    return finite
+
+
+def histogram_quantile(hist: Optional[Mapping[str, Any]],
+                       q: float) -> Optional[float]:
+    """The ``q``-quantile of a histogram snapshot (None when empty).
+
+    Nearest-rank over cumulative bucket counts, linearly interpolated
+    inside the target bucket, with edges tightened and the result
+    clamped to the exact recorded ``[min, max]``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1] (got {q!r})")
+    if hist is None or not hist["count"]:
+        return None
+    count = hist["count"]
+    lo, hi = hist["min"], hist["max"]
+    rank = max(1, math.ceil(q * count))
+    # the extreme ranks ARE the recorded extremes — no bucket estimate
+    # can beat the exact values the snapshot carries
+    if rank == 1:
+        return lo
+    if rank == count:
+        return hi
+    cum = 0
+    lower = lo
+    for bound, bucket_count in _bounds(hist):
+        if bucket_count:
+            upper = hi if math.isinf(bound) else min(bound, hi)
+            if cum + bucket_count >= rank:
+                # spread the bucket's ranks across [lower, upper] with the
+                # first/last rank pinned to the edges, so q=0 / q=1 recover
+                # the exact recorded min / max
+                if bucket_count == 1:
+                    frac = 0.5
+                else:
+                    frac = (rank - cum - 1) / (bucket_count - 1)
+                value = lower + frac * (upper - lower)
+                return min(max(value, lo), hi)
+            cum += bucket_count
+            lower = max(upper, lower)
+        elif not math.isinf(bound):
+            lower = max(min(bound, hi), lower)
+    return hi  # pragma: no cover - rank <= count always hits a bucket

@@ -1,10 +1,16 @@
-"""``python -m repro.run`` — run declarative NCS scenarios.
+"""``python -m repro.run`` — run declarative NCS scenarios and fleets.
 
 Usage::
 
     python -m repro.run scenario.toml [more.toml ...]
+    python -m repro.run --seed 7 scenario.toml   # override cluster.seed
     python -m repro.run --list            # registered components
     python -m repro.run --print-spec s.toml   # canonical TOML, no run
+
+    python -m repro.run --fleet scenarios/ --jobs 4          # run + table
+    python -m repro.run --fleet scenarios/ --write           # (re)baseline
+    python -m repro.run --fleet scenarios/ --check           # regression?
+    python -m repro.run --fleet scenarios/matrix/small_sweep.toml
 
 A scenario file is a TOML (or JSON) document describing one experiment
 end to end — cluster topology, NCS service mode, flow/error control,
@@ -12,6 +18,12 @@ fault plan, application and telemetry — that loads into a
 :class:`repro.config.ScenarioSpec` and runs through
 :func:`repro.config.run_scenario`.  Checked-in examples live in the
 repository's ``scenarios/`` directory.
+
+``--fleet`` runs a whole directory of scenarios (or a parameter-matrix
+TOML, see :mod:`repro.config.fleet`) across a process pool, reduces
+every run to a KPI row (:mod:`repro.fleet`), and — with ``--check`` —
+diffs the fresh KPIs against the checked-in ``KPIS_<fleet>.json``
+baseline, exiting nonzero on regression.
 
 Every component name in a scenario resolves through
 :mod:`repro.registry`; ``--list`` shows what is available, including
@@ -25,9 +37,9 @@ import importlib
 import json
 import sys
 
-from .config import (SpecError, dump_scenario, dumps_toml, load_scenario,
-                     run_scenario, ensure_components)
-from .diagnostics import render_report
+from .config import (SpecError, dump_scenario, dumps_toml, load_fleet,
+                     load_scenario, run_scenario, ensure_components)
+from .diagnostics import RESILIENCE_COUNTERS, render_report
 from .registry import UnknownNameError, all_registries
 
 __all__ = ["main"]
@@ -45,32 +57,70 @@ def _list_components() -> str:
     return "\n".join(lines)
 
 
-#: cluster-wide resilience counters surfaced after a [resilience] run
-_RESILIENCE_METRICS = (
-    "resilience.failovers", "resilience.breaker_trips",
-    "resilience.breaker_recoveries", "resilience.deaths",
-    "resilience.rejoins", "resilience.reassigned_units",
-)
-
-
 def _summarize(result) -> str:
     spec = result.spec
     head = f"scenario {spec.name!r} [{spec.digest()}]: done"
     rows = [f"  {k:<16} {v}" for k, v in result.summary().items()]
     if spec.resilience is not None and result.cluster is not None:
+        # every counter, zeros included — the schema must not depend on
+        # whether anything actually failed over this run
         metrics = result.cluster.metrics
-        for name in _RESILIENCE_METRICS:
-            total = metrics.total(name)
-            if total:
-                rows.append(f"  {name:<32} {total:g}")
+        for name in RESILIENCE_COUNTERS:
+            rows.append(f"  {name:<32} {metrics.total(name):g}")
     rows += [f"  exported         {p}" for p in result.exported]
     return "\n".join([head] + rows)
+
+
+def _run_fleet_cli(args) -> int:
+    from .fleet import (diff_kpis, load_kpi_doc, render_table, run_fleet,
+                        write_kpi_doc)
+    try:
+        fleet = load_fleet(args.fleet)
+    except (SpecError, OSError) as e:
+        print(f"{args.fleet}: {e}", file=sys.stderr)
+        return 2
+    kpis_file = args.kpis_file or f"KPIS_{fleet.name}.json"
+
+    def progress(outcome):
+        if outcome.ok:
+            print(f"  {outcome.run_id}: ok")
+        else:
+            print(f"  {outcome.run_id}: FAILED — {outcome.error}")
+
+    print(f"fleet {fleet.name!r}: {len(fleet.runs)} run(s), "
+          f"jobs={args.jobs}")
+    result = run_fleet(fleet, jobs=args.jobs, results_dir=args.results,
+                       progress=progress)
+    doc = result.kpi_doc()
+    print(render_table(result.rows()))
+    write_kpi_doc(doc, f"{args.results}/KPIS_{fleet.name}.json")
+
+    if args.write:
+        write_kpi_doc(doc, kpis_file)
+        print(f"baseline written: {kpis_file}")
+        return 0 if result.ok else 1
+    if args.check:
+        try:
+            baseline = load_kpi_doc(kpis_file)
+        except OSError as e:
+            print(f"no baseline to check against ({e}); run with --write "
+                  "to create one", file=sys.stderr)
+            return 2
+        failures = diff_kpis(baseline, doc)
+        if failures:
+            print(f"KPI regression vs {kpis_file}:", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+        print(f"KPIs within tolerance of {kpis_file}")
+        return 0
+    return 0 if result.ok else 1
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.run",
-        description="Run declarative NCS scenario files.")
+        description="Run declarative NCS scenario files and fleets.")
     parser.add_argument("scenarios", nargs="*", metavar="SCENARIO",
                         help="scenario file(s): .toml or .json")
     parser.add_argument("--list", action="store_true",
@@ -81,10 +131,31 @@ def main(argv=None) -> int:
     parser.add_argument("--report", action="store_true",
                         help="print the cluster diagnostics report after "
                              "each run (implied by obs.report = true)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override cluster.seed (stamps the spec digest: "
+                             "a reseeded run is a different experiment)")
     parser.add_argument("--import", dest="imports", action="append",
                         default=[], metavar="MODULE",
                         help="import MODULE first so third-party components "
                              "self-register (repeatable)")
+    fleet_group = parser.add_argument_group("fleet mode")
+    fleet_group.add_argument("--fleet", metavar="DIR|MATRIX.toml",
+                             help="run a scenario directory or a parameter-"
+                                  "matrix file as one fleet")
+    fleet_group.add_argument("--jobs", type=int, default=1, metavar="N",
+                             help="process-pool width (default: 1, inline)")
+    fleet_group.add_argument("--results", default="fleet_results",
+                             metavar="DIR",
+                             help="per-run artifact directory "
+                                  "(default: fleet_results)")
+    fleet_group.add_argument("--kpis-file", default=None, metavar="PATH",
+                             help="KPI baseline path (default: "
+                                  "KPIS_<fleet>.json)")
+    fleet_group.add_argument("--check", action="store_true",
+                             help="diff fresh KPIs against the baseline; "
+                                  "exit 1 on regression")
+    fleet_group.add_argument("--write", action="store_true",
+                             help="write/refresh the KPI baseline")
     args = parser.parse_args(argv)
 
     for mod in args.imports:
@@ -93,8 +164,23 @@ def main(argv=None) -> int:
     if args.list:
         print(_list_components())
         return 0
+    if args.fleet:
+        if args.scenarios:
+            parser.error("--fleet and positional scenario files are "
+                         "mutually exclusive")
+        if args.seed is not None:
+            parser.error("--seed applies to single scenarios; parameterize "
+                         "a fleet via a matrix axis on cluster.seed instead")
+        if args.check and args.write:
+            parser.error("--check and --write are mutually exclusive "
+                         "(check first, then write if the change is real)")
+        if args.jobs < 1:
+            parser.error("--jobs must be >= 1")
+        return _run_fleet_cli(args)
+    if args.check or args.write:
+        parser.error("--check/--write require --fleet")
     if not args.scenarios:
-        parser.error("no scenario files given (or use --list)")
+        parser.error("no scenario files given (or use --list / --fleet)")
 
     status = 0
     for path in args.scenarios:
@@ -104,6 +190,8 @@ def main(argv=None) -> int:
             print(f"{path}: {e}", file=sys.stderr)
             status = 2
             continue
+        if args.seed is not None:
+            spec = spec.with_cluster(seed=args.seed)
         if args.print_spec:
             print(dumps_toml(spec.to_dict()), end="")
             continue

@@ -1,0 +1,160 @@
+"""Property-based tests on the KPI reducers.
+
+The quantile extractor and histogram merger are the only numerically
+interesting code in the KPI layer — everything else is counter sums.
+Hypothesis drives them with arbitrary observation sets against the
+laws a quantile must obey: bounded by the exact ``[min, max]`` the
+snapshot records, monotone in ``q``, exact for single observations,
+``None`` for empty histograms, and invariant under merging (the merged
+histogram of per-label shards sees the same totals as one histogram
+fed every observation).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import MetricsRegistry
+from repro.obs.kpi import (counter_total, histogram_family,
+                           histogram_quantile, merge_histograms)
+from repro.fleet.kpis import KpiRow, extract_kpis, goodput
+
+BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
+
+observations = st.lists(
+    st.floats(min_value=1e-6, max_value=10.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=60)
+
+quantiles = st.floats(min_value=0.0, max_value=1.0,
+                      allow_nan=False, allow_infinity=False)
+
+
+def _hist_snapshot(values, buckets=BUCKETS):
+    m = MetricsRegistry()
+    h = m.histogram("t.latency", help="t", buckets=buckets)
+    for v in values:
+        h.observe(v)
+    return histogram_family(m.snapshot(), "t.latency")
+
+
+class TestHistogramQuantile:
+    @given(observations, quantiles)
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_by_exact_min_max(self, values, q):
+        hist = _hist_snapshot(values)
+        value = histogram_quantile(hist, q)
+        assert min(values) <= value <= max(values)
+
+    @given(observations, quantiles, quantiles)
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_q(self, values, q1, q2):
+        hist = _hist_snapshot(values)
+        lo, hi = sorted((q1, q2))
+        assert histogram_quantile(hist, lo) <= histogram_quantile(hist, hi)
+
+    @given(st.floats(min_value=1e-6, max_value=10.0,
+                     allow_nan=False, allow_infinity=False), quantiles)
+    @settings(max_examples=100, deadline=None)
+    def test_single_observation_is_exact(self, value, q):
+        hist = _hist_snapshot([value])
+        assert histogram_quantile(hist, q) == pytest.approx(value)
+
+    def test_empty_histogram_is_none(self):
+        m = MetricsRegistry()
+        m.histogram("t.empty", help="t", buckets=BUCKETS)
+        hist = histogram_family(m.snapshot(), "t.empty")
+        assert hist["count"] == 0
+        assert histogram_quantile(hist, 0.5) is None
+
+    def test_absent_family_is_none(self):
+        assert histogram_family({}, "nope") is None
+        assert histogram_quantile(None, 0.99) is None
+
+    def test_quantile_out_of_range_raises(self):
+        hist = _hist_snapshot([0.5])
+        with pytest.raises(ValueError):
+            histogram_quantile(hist, 1.5)
+        with pytest.raises(ValueError):
+            histogram_quantile(hist, -0.1)
+
+    @given(observations)
+    @settings(max_examples=50, deadline=None)
+    def test_extremes_are_exact(self, values):
+        hist = _hist_snapshot(values)
+        assert histogram_quantile(hist, 0.0) == pytest.approx(min(values))
+        assert histogram_quantile(hist, 1.0) == pytest.approx(max(values))
+
+
+class TestMergeHistograms:
+    @given(st.lists(observations, min_size=1, max_size=5))
+    @settings(max_examples=50, deadline=None)
+    def test_merge_equals_union(self, shards):
+        """Per-label shards merge to the same totals as one histogram
+        that saw every observation."""
+        m = MetricsRegistry()
+        for pid, shard in enumerate(shards):
+            h = m.histogram("t.sharded", help="t", buckets=BUCKETS, pid=pid)
+            for v in shard:
+                h.observe(v)
+        merged = histogram_family(m.snapshot(), "t.sharded")
+        everything = [v for shard in shards for v in shard]
+        union = _hist_snapshot(everything)
+        assert merged["count"] == union["count"] == len(everything)
+        assert merged["sum"] == pytest.approx(union["sum"])
+        assert merged["min"] == union["min"] == min(everything)
+        assert merged["max"] == union["max"] == max(everything)
+        for bound, count in union["buckets"].items():
+            assert merged["buckets"].get(bound, 0) == count
+
+
+class TestGoodput:
+    @given(st.floats(min_value=0, max_value=1e9, allow_nan=False),
+           st.integers(min_value=1, max_value=10_000),
+           st.integers(min_value=0, max_value=10_000),
+           st.floats(min_value=1e-6, max_value=1e4, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_arithmetic(self, app_bytes, sent, delivered, makespan):
+        delivered = min(delivered, sent)
+        expected = app_bytes * (delivered / sent) / makespan
+        assert goodput(app_bytes, sent, delivered, makespan) == \
+            pytest.approx(expected)
+
+    def test_zero_guards(self):
+        assert goodput(1000, 0, 0, 1.0) == 0.0
+        assert goodput(1000, 10, 10, None) == 0.0
+        assert goodput(1000, 10, 10, 0.0) == 0.0
+
+
+class TestCounterTotal:
+    def test_sums_across_label_sets(self):
+        m = MetricsRegistry()
+        m.counter("t.things", help="t", pid=0).inc(2)
+        m.counter("t.things", help="t", pid=1).inc(3)
+        assert counter_total(m.snapshot(), "t.things") == 5
+
+    def test_absent_metric_reads_default(self):
+        assert counter_total({}, "t.missing") == 0
+        assert counter_total({}, "t.missing", default=-1) == -1
+
+
+class TestExtractKpis:
+    def test_empty_snapshot_yields_stable_zero_row(self):
+        """Every field present even with no metrics at all — the stable
+        KPI schema the diff layer depends on."""
+        from repro.config import ScenarioSpec
+        spec = ScenarioSpec(name="t", app={"driver": "pingpong"})
+        row = extract_kpis(spec, {}, {"makespan_s": 2.0})
+        assert row.scenario == "t"
+        assert row.digest == spec.digest()
+        assert row.makespan_s == 2.0
+        assert row.messages_sent == 0
+        assert row.goodput_bytes_s == 0.0
+        assert row.failovers == 0
+        assert row.reassigned_units == 0
+        assert row.p50_delivery_s is None
+        assert row.p99_delivery_s is None
+        assert not math.isnan(row.retransmit_rate)
+        assert KpiRow.from_dict(row.to_dict()) == row
