@@ -176,6 +176,62 @@ def _ring(run):
 
 
 @APP_DRIVERS.register(
+    "collective",
+    help="Barrier + broadcast + reduce rounds (the collectives workload)")
+def _collective(run):
+    """One thread per host runs ``rounds`` of barrier -> bcast ->
+    reduce over every host, exercising whichever strategy the scenario
+    selected (``runtime.collectives = "host"`` or ``"nic"``).
+
+    Round ``r``: all threads hit the barrier, host 0 broadcasts
+    ``("payload", r)`` to everyone (tag ``tag_base + r``), then all
+    hosts reduce their ``pid + 1`` contributions back to host 0 with
+    ``+`` — commutative, so host arrival-order and NIC sorted-order
+    folds agree and the correctness flags are strategy-independent."""
+    from ..core.mps import group
+    p = run.params
+    rounds = int(p.get("rounds", 2))
+    nbytes = int(p.get("nbytes", 1024))
+    tag_base = int(p.get("tag_base", 20))
+    barrier_id = int(p.get("barrier", 0))
+    rt = run.runtime
+    n = run.cluster.n_hosts
+    if barrier_id not in rt.nodes[0].mps.barrier_parties:
+        rt.register_barrier(barrier_id, n)
+    expected_sum = n * (n + 1) // 2
+    # tids[pid] is filled before rt.run(); bodies read it lazily
+    tids: list = []
+    got = {pid: [] for pid in range(1, n)}
+    sums: list = []
+
+    def body(ctx, pid):
+        members = [(tids[i], i) for i in range(n)]
+        root = (tids[0], 0)
+        for r in range(rounds):
+            yield ctx.barrier(barrier_id)
+            if pid == 0:
+                yield from group.bcast(ctx, members, ("payload", r),
+                                       nbytes, tag=tag_base + r)
+            else:
+                msg = yield ctx.recv(from_process=0, tag=tag_base + r)
+                got[pid].append(msg.data)
+            total = yield from group.reduce(ctx, root, members,
+                                            pid + 1, 64, lambda a, b: a + b)
+            if pid == 0:
+                sums.append(total)
+
+    for pid in range(n):
+        tids.append(rt.t_create(pid, body, (pid,), name=f"coll{pid}"))
+    makespan = rt.run()
+    bcast_ok = all(got[pid] == [("payload", r) for r in range(rounds)]
+                   for pid in range(1, n))
+    reduce_ok = sums == [expected_sum] * rounds
+    return {"makespan_s": makespan, "rounds": rounds, "n_hosts": n,
+            "bcast_ok": bcast_ok, "reduce_ok": reduce_ok,
+            "collectives": run.spec.collectives}
+
+
+@APP_DRIVERS.register(
     "matmul-resilient",
     help="Matmul with failure detection and work reassignment")
 def _matmul_resilient(run):

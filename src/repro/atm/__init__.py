@@ -4,9 +4,10 @@ from .aal import AAL34, AAL5, Aal, Aal34, Aal5, AalError
 from .adapter import AdapterStats, Sba200Adapter
 from .api import AtmApi, AtmMessage, MAX_PDU_BYTES
 from .cell import AtmCell, CELL_BYTES, CELL_HEADER_BYTES, CELL_PAYLOAD_BYTES, CellBurst
+from .collective import NicCollectiveEngine, NicCollectiveFabric, NicPdu
 from .crc import Crc, crc10_aal34, crc32_aal5
 from .link import Channel, DS3, DuplexLink, LinkSpec, OC3, OC48, TAXI_140
-from .signaling import AtmFabric, SignalingController, VirtualChannel
+from .signaling import AtmFabric, MulticastChannel, SignalingController, VirtualChannel
 from .switch import AtmSwitch, VcRoute
 
 __all__ = [
@@ -15,8 +16,9 @@ __all__ = [
     "AtmApi", "AtmMessage", "MAX_PDU_BYTES",
     "AtmCell", "CELL_BYTES", "CELL_HEADER_BYTES", "CELL_PAYLOAD_BYTES",
     "CellBurst",
+    "NicCollectiveEngine", "NicCollectiveFabric", "NicPdu",
     "Crc", "crc10_aal34", "crc32_aal5",
     "Channel", "DS3", "DuplexLink", "LinkSpec", "OC3", "OC48", "TAXI_140",
-    "AtmFabric", "SignalingController", "VirtualChannel",
+    "AtmFabric", "MulticastChannel", "SignalingController", "VirtualChannel",
     "AtmSwitch", "VcRoute",
 ]

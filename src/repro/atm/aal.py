@@ -52,9 +52,11 @@ class Aal:
         return payload_bytes / self.wire_bytes(payload_bytes)
 
     def segment(self, payload: bytes, vpi: int, vci: int) -> list[AtmCell]:
+        """Segment ``payload`` into cells on the given VPI/VCI."""
         raise NotImplementedError
 
     def reassemble(self, cells: list[AtmCell]) -> bytes:
+        """Reassemble a PDU from its cells, raising :class:`AalError` on damage."""
         raise NotImplementedError
 
 
@@ -67,6 +69,7 @@ class Aal5(Aal):
     TRAILER_BYTES: int = 8
 
     def pdu_cells(self, payload_bytes: int) -> int:
+        """Cells for a payload: pad + trailer rounded up to 48-byte chunks."""
         if payload_bytes < 0:
             raise ValueError("payload_bytes must be non-negative")
         if payload_bytes > 65535:
@@ -75,6 +78,7 @@ class Aal5(Aal):
                            / CELL_PAYLOAD_BYTES))
 
     def segment(self, payload: bytes, vpi: int = 0, vci: int = 32) -> list[AtmCell]:
+        """Segment ``payload`` into AAL5 cells (CRC-32 trailer, last-cell flag)."""
         n_cells = self.pdu_cells(len(payload))
         pdu_len = n_cells * CELL_PAYLOAD_BYTES
         pad = pdu_len - len(payload) - self.TRAILER_BYTES
@@ -93,6 +97,7 @@ class Aal5(Aal):
         return cells
 
     def reassemble(self, cells: list[AtmCell]) -> bytes:
+        """Rebuild and CRC-verify an AAL5 PDU, returning the payload bytes."""
         if not cells:
             raise AalError("empty cell list")
         if not cells[-1].pt_last:
@@ -119,12 +124,14 @@ class Aal34(Aal):
     SAR_PAYLOAD: int = 44
 
     def pdu_cells(self, payload_bytes: int) -> int:
+        """Cells for a payload at 44 usable bytes per AAL3/4 cell."""
         if payload_bytes < 0:
             raise ValueError("payload_bytes must be non-negative")
         return max(1, ceil(payload_bytes / self.SAR_PAYLOAD))
 
     def segment(self, payload: bytes, vpi: int = 0, vci: int = 32,
                 mid: int = 0) -> list[AtmCell]:
+        """Segment ``payload`` into AAL3/4 cells (BOM/COM/EOM/SSM framing)."""
         n = self.pdu_cells(len(payload))
         cells = []
         for i in range(n):
@@ -150,6 +157,7 @@ class Aal34(Aal):
         return cells
 
     def reassemble(self, cells: list[AtmCell]) -> bytes:
+        """Rebuild an AAL3/4 PDU, checking per-cell CRC-10 and framing."""
         if not cells:
             raise AalError("empty cell list")
         out = bytearray()

@@ -21,6 +21,11 @@ Model:
 * **Reassembly** — bursts accumulate per ``(vc, msg_id)``; a corrupted
   burst poisons the PDU exactly as a failed AAL5 CRC would.  Completed
   messages are DMA'd to host memory and handed to the receive handler.
+* **Firmware hook** — :attr:`Sba200Adapter.collective_rx` lets an
+  on-adapter protocol engine (:mod:`repro.atm.collective`) intercept a
+  reassembled PDU *before* the host-bound DMA: PDUs it consumes never
+  touch the host CPU, which is the whole point of NIC-offloaded
+  collectives.
 """
 
 from __future__ import annotations
@@ -38,6 +43,8 @@ __all__ = ["Sba200Adapter", "AdapterStats"]
 
 @dataclass
 class AdapterStats:
+    """Lifetime PDU/cell counters for one adapter."""
+
     pdus_sent: int = 0
     pdus_received: int = 0
     pdus_failed: int = 0
@@ -63,6 +70,7 @@ class Sba200Adapter:
                  i960_per_cell_s: float = 3.0e-6,
                  dma_bandwidth_bps: float = 160e6,
                  train_cells: int = 256):
+        """Model one SBA-200: i960 SAR engine + SBus DMA + TAXI uplink."""
         if i960_per_cell_s < 0:
             raise ValueError("i960 per-cell time must be non-negative")
         if dma_bandwidth_bps <= 0:
@@ -87,6 +95,11 @@ class Sba200Adapter:
         #: injected receive filter: ``fn(burst) -> True`` poisons the
         #: burst's PDU (targeted receive-side loss — see repro.faults)
         self.rx_fault: Optional[Callable[[CellBurst], bool]] = None
+        #: firmware intercept for reassembled PDUs, consulted *before*
+        #: the host-bound DMA: ``fn(vc, payload, nbytes, msg_id,
+        #: corrupted) -> True`` consumes the PDU on the adapter
+        #: (see repro.atm.collective)
+        self.collective_rx: Optional[Callable[..., bool]] = None
         self.stats = AdapterStats()
         #: per-shaped-VC burst queues (vc_id -> Store), drained by pacers
         self._shapers: dict[int, Store] = {}
@@ -114,16 +127,19 @@ class Sba200Adapter:
 
     # --------------------------------------------------------------- wiring
     def attach_uplink(self, channel: Channel) -> None:
+        """Connect this adapter's TAXI transmitter to ``channel``."""
         if self.uplink is not None:
             raise ValueError(f"adapter {self.host_name} already has an uplink")
         self.uplink = channel
 
     def alloc_msg_id(self) -> int:
+        """Return a fresh adapter-local message id for SAR framing."""
         self._msg_seq += 1
         return self._msg_seq
 
     # ------------------------------------------------------------------ DMA
     def dma_time(self, nbytes: int) -> float:
+        """Seconds the SBus DMA engine needs to move ``nbytes``."""
         return nbytes * 8 / self.dma_bandwidth_bps
 
     def dma_transfer(self, nbytes: int):
@@ -219,10 +235,18 @@ class Sba200Adapter:
         self.up = False
 
     def restore(self) -> None:
+        """Bring a failed adapter back up."""
         self.up = True
 
     # -------------------------------------------------------------- receive
     def receive_burst(self, burst: CellBurst, channel: Channel) -> None:
+        """Reassemble one arriving burst into its per-(vc, msg) PDU.
+
+        On the final burst the PDU is first offered to
+        :attr:`collective_rx` (firmware path — consumed PDUs never reach
+        the host), then either reported to :attr:`rx_error_handler` if
+        corrupted or queued for DMA delivery to :attr:`rx_handler`.
+        """
         if not self.up or (self.rx_fault is not None and self.rx_fault(burst)):
             burst.corrupted = True
             self.stats.bursts_faulted += 1
@@ -243,6 +267,10 @@ class Sba200Adapter:
             st.payload = burst.payload
         if burst.is_final:
             del self._rx[key]
+            hook = self.collective_rx
+            if hook is not None and hook(vc, st.payload, st.bytes_ok,
+                                         burst.msg_id, st.corrupted):
+                return
             if st.corrupted:
                 self.stats.pdus_failed += 1
                 self._m_pdus_failed.inc()

@@ -56,6 +56,7 @@ class AtmApi:
 
     # -------------------------------------------------------------- receive
     def rx_queue(self, vc: VirtualChannel) -> Store:
+        """Per-VC receive queue, created on first use."""
         q = self._rx.get(vc.vc_id)
         if q is None:
             q = self._rx[vc.vc_id] = Store(self.sim, name=f"atmrx:{vc.vc_id}")

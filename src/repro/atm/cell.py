@@ -49,6 +49,7 @@ class AtmCell:
 
     @property
     def wire_bytes(self) -> int:
+        """Bytes this cell occupies on the wire (always 53)."""
         return CELL_BYTES
 
     def header_bytes(self) -> bytes:
@@ -100,4 +101,5 @@ class CellBurst:
 
     @property
     def wire_bytes(self) -> int:
+        """Bytes the whole burst occupies on the wire (53 per cell)."""
         return self.n_cells * CELL_BYTES

@@ -49,6 +49,7 @@ class Crc:
         return table
 
     def compute(self, data: bytes) -> int:
+        """CRC of ``data`` under this parameter set (table-driven)."""
         if self.reflect:
             crc = _reflect_bits(self.init, self.width)
             for byte in data:

@@ -54,9 +54,11 @@ class LinkSpec:
             raise ValueError("bit error rate must be in [0, 1)")
 
     def with_delay(self, prop_delay_s: float) -> "LinkSpec":
+        """Copy of this spec with a different propagation delay."""
         return LinkSpec(self.name, self.bandwidth_bps, prop_delay_s, self.ber)
 
     def with_ber(self, ber: float) -> "LinkSpec":
+        """Copy of this spec with a different bit error rate."""
         return LinkSpec(self.name, self.bandwidth_bps, self.prop_delay_s, ber)
 
 
@@ -72,7 +74,9 @@ DS3 = LinkSpec("DS-3", 45e6, 2e-3)
 class BurstSink(Protocol):
     """Anything that can terminate a channel (switch port or adapter)."""
 
-    def receive_burst(self, burst: CellBurst, channel: "Channel") -> None: ...
+    def receive_burst(self, burst: CellBurst, channel: "Channel") -> None:
+        """Accept a burst arriving off ``channel``."""
+        ...
 
 
 class Channel:
@@ -104,6 +108,7 @@ class Channel:
         sim.process(self._drain(), name=f"chan:{name}")
 
     def connect(self, endpoint: BurstSink) -> None:
+        """Attach the receiving endpoint (switch port or adapter), once."""
         if self.endpoint is not None:
             raise ValueError(f"channel {self.name} already connected")
         self.endpoint = endpoint
@@ -115,10 +120,12 @@ class Channel:
         self.up = False
 
     def restore(self) -> None:
+        """Bring the channel back up; later bursts arrive clean again."""
         self.up = True
 
     @property
     def effective_ber(self) -> float:
+        """Bit error rate in force: a fault override, else the spec's."""
         return self.spec.ber if self.ber_override is None else self.ber_override
 
     def stall(self) -> None:
@@ -129,6 +136,7 @@ class Channel:
             self._stall_release = Event(self.sim, name=f"unstall:{self.name}")
 
     def unstall(self) -> None:
+        """Release a stalled drain; queued bursts resume in order."""
         if self._stalled:
             self._stalled = False
             release, self._stall_release = self._stall_release, None
@@ -137,6 +145,7 @@ class Channel:
 
     # --------------------------------------------------------------- sending
     def tx_time(self, burst: CellBurst) -> float:
+        """Serialization time of ``burst`` at this channel's line rate."""
         return burst.wire_bytes * 8 / self.spec.bandwidth_bps
 
     def send(self, burst: CellBurst, extra_service_s: float = 0.0) -> None:
@@ -191,6 +200,7 @@ class DuplexLink:
         self.rev = Channel(sim, f"{name}<", spec, rng_b)
 
     def channels(self) -> tuple[Channel, Channel]:
+        """The (forward, reverse) channel pair."""
         return self.fwd, self.rev
 
     def fail(self) -> None:
@@ -199,5 +209,6 @@ class DuplexLink:
         self.rev.fail()
 
     def restore(self) -> None:
+        """Splice the fiber: both directions come back up."""
         self.fwd.restore()
         self.rev.restore()

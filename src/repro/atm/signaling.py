@@ -7,6 +7,22 @@ switch's VC table — the PVC configuration the paper's NYNET experiments
 ran over (setup happens at cluster build time, so its cost never pollutes
 application timings; a timed ``setup_vc`` generator exists for the QoS
 examples that open channels at runtime).
+
+Two kinds of channel come out of the controller:
+
+* :class:`VirtualChannel` — the ordinary point-to-point PVC
+  (:meth:`SignalingController.create_pvc`);
+* :class:`MulticastChannel` — a point-to-multipoint VC
+  (:meth:`SignalingController.create_multicast`): one source adapter,
+  a replication *tree* programmed into the switches' multicast group
+  tables (:meth:`repro.atm.switch.AtmSwitch.program_multicast`), and a
+  leaf set of destination adapters.  This is the wire primitive the
+  NIC-offloaded collectives (:mod:`repro.atm.collective`) broadcast
+  over.
+
+Shortest paths are cached per source adapter (invalidated whenever the
+graph mutates): the O(n²) PVC meshes of the LAN builders would
+otherwise spend minutes in Dijkstra at 256 hosts.
 """
 
 from __future__ import annotations
@@ -23,7 +39,8 @@ from .adapter import Sba200Adapter
 from .link import Channel, DuplexLink, LinkSpec
 from .switch import AtmSwitch
 
-__all__ = ["VirtualChannel", "AtmFabric", "SignalingController"]
+__all__ = ["VirtualChannel", "MulticastChannel", "AtmFabric",
+           "SignalingController"]
 
 #: first VCI available for user traffic (0-31 are reserved in UNI)
 FIRST_USER_VCI = 32
@@ -47,11 +64,38 @@ class VirtualChannel:
 
     @property
     def n_switches(self) -> int:
+        """How many switches the VC traverses."""
         return len(self.hops) - 1
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<VC {self.vc_id} {self.src.host_name}->{self.dst.host_name} "
                 f"hops={len(self.hops)}>")
+
+
+@dataclass
+class MulticastChannel:
+    """A point-to-multipoint VC: one source, a switch replication tree.
+
+    Quacks enough like :class:`VirtualChannel` for
+    :meth:`repro.atm.adapter.Sba200Adapter.send_pdu` — it has a
+    ``vc_id``, a ``src_vci`` for the first hop and an ``aal`` — but
+    fans out at every switch whose multicast group table carries an
+    entry for it, terminating at each adapter in ``leaves``.
+    """
+
+    vc_id: int
+    src: Sba200Adapter
+    src_vci: int
+    leaves: list[Sba200Adapter]
+    #: every directed channel in the replication tree
+    hops: list[Channel]
+    aal: Aal = field(default_factory=lambda: AAL5)
+    #: peak cell rate in cells/s (None = best effort, like PVCs)
+    pcr_cells_s: Optional[float] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<MulticastVC {self.vc_id} {self.src.host_name}->"
+                f"{len(self.leaves)} leaves>")
 
 
 class AtmFabric:
@@ -62,20 +106,29 @@ class AtmFabric:
         self.graph = nx.Graph()
         self.adapters: dict[str, Sba200Adapter] = {}
         self.switches: dict[str, AtmSwitch] = {}
+        # single-source shortest-path cache: id(src) -> {dst: [nodes]}.
+        # One Dijkstra per source instead of one per (src, dst) pair —
+        # the difference between seconds and minutes when the LAN
+        # builders provision their O(n^2) PVC meshes at 256 hosts.
+        self._path_cache: dict[int, dict] = {}
 
     # -------------------------------------------------------------- building
     def add_adapter(self, adapter: Sba200Adapter) -> Sba200Adapter:
+        """Register an adapter as a fabric node."""
         if adapter.host_name in self.adapters:
             raise ValueError(f"duplicate adapter for host {adapter.host_name}")
         self.adapters[adapter.host_name] = adapter
         self.graph.add_node(adapter)
+        self._path_cache.clear()
         return adapter
 
     def add_switch(self, switch: AtmSwitch) -> AtmSwitch:
+        """Register a switch as a fabric node."""
         if switch.name in self.switches:
             raise ValueError(f"duplicate switch {switch.name}")
         self.switches[switch.name] = switch
         self.graph.add_node(switch)
+        self._path_cache.clear()
         return switch
 
     def connect(self, a: Node, b: Node, spec: LinkSpec,
@@ -91,12 +144,22 @@ class AtmFabric:
             b.attach_uplink(link.rev)
         self.graph.add_edge(a, b, link=link,
                             weight=spec.prop_delay_s + 1e-9)
+        self._path_cache.clear()
         return link
 
     # --------------------------------------------------------------- queries
     def path_nodes(self, src: Sba200Adapter, dst: Sba200Adapter) -> list[Node]:
         """Shortest path (by propagation delay) from adapter to adapter."""
-        return nx.shortest_path(self.graph, src, dst, weight="weight")
+        cache = self._path_cache.get(id(src))
+        if cache is None:
+            cache = self._path_cache[id(src)] = nx.shortest_path(
+                self.graph, src, weight="weight")
+        try:
+            return cache[dst]
+        except KeyError:
+            raise nx.NetworkXNoPath(
+                f"no path between {_node_name(src)} and "
+                f"{_node_name(dst)}") from None
 
     def directed_channels(self, nodes: list[Node]) -> list[Channel]:
         """The directed channel for each consecutive node pair."""
@@ -129,8 +192,10 @@ class SignalingController:
         # next free VCI per directed channel
         self._next_vci: dict[int, int] = {}
         self.open_vcs: dict[int, VirtualChannel] = {}
+        self.open_mcast: dict[int, MulticastChannel] = {}
 
     def _alloc_vci(self, channel: Channel) -> int:
+        """Allocate the next free VCI on one directed channel."""
         nxt = self._next_vci.get(id(channel), FIRST_USER_VCI)
         self._next_vci[id(channel)] = nxt + 1
         return nxt
@@ -173,6 +238,70 @@ class SignalingController:
             ch.spec.prop_delay_s for ch in self.fabric.directed_channels(nodes))
         yield self.fabric.sim.timeout(delay)
         return self.create_pvc(src_host, dst_host, aal, pcr_cells_s)
+
+    def create_multicast(self, src_host: str, dst_hosts: list[str],
+                         aal: Optional[Aal] = None,
+                         pcr_cells_s: Optional[float] = None
+                         ) -> MulticastChannel:
+        """Provision a point-to-multipoint VC from ``src_host`` to every
+        host in ``dst_hosts`` (build-time configuration, like PVCs).
+
+        The union of the shortest paths to each destination forms the
+        replication tree.  One VCI is allocated per directed channel in
+        the tree, and every switch on it gets a **multicast group
+        entry** (:meth:`repro.atm.switch.AtmSwitch.program_multicast`)
+        mapping its incoming (channel, VCI) to the set of outgoing
+        legs — cell replication happens at the switch output ports, so
+        the source transmits each PDU exactly once no matter how many
+        leaves listen.
+        """
+        src = self.fabric.adapters[src_host]
+        leaves = []
+        for name in dst_hosts:
+            dst = self.fabric.adapters[name]
+            if dst is src:
+                raise ValueError(
+                    f"multicast from {src_host} cannot include itself")
+            leaves.append(dst)
+        if not leaves:
+            raise ValueError("multicast needs at least one destination")
+        # tree as parent links: every directed channel in the union of
+        # the per-leaf paths, plus, per switch, the incoming channel
+        # that feeds it (shortest-path trees give each node one parent)
+        tree_hops: list[Channel] = []
+        vcis: dict[int, int] = {}           # id(channel) -> VCI
+        in_channel: dict[AtmSwitch, Channel] = {}
+        fanout: dict[AtmSwitch, list[Channel]] = {}
+        for dst in leaves:
+            nodes = self.fabric.path_nodes(src, dst)
+            hops = self.fabric.directed_channels(nodes)
+            for i, ch in enumerate(hops):
+                if id(ch) not in vcis:
+                    vcis[id(ch)] = self._alloc_vci(ch)
+                    tree_hops.append(ch)
+                    if i > 0:
+                        sw = nodes[i]
+                        assert isinstance(sw, AtmSwitch)
+                        fanout.setdefault(sw, []).append(ch)
+                if i > 0:
+                    sw = nodes[i]
+                    prev = in_channel.setdefault(sw, hops[i - 1])
+                    if prev is not hops[i - 1]:  # pragma: no cover
+                        raise RuntimeError(
+                            f"multicast tree through {sw.name} is not a "
+                            "tree: two different incoming channels")
+        for sw, legs in fanout.items():
+            ch_in = in_channel[sw]
+            sw.program_multicast(
+                ch_in, vcis[id(ch_in)],
+                [(ch, vcis[id(ch)]) for ch in legs])
+        self._vc_seq += 1
+        mvc = MulticastChannel(
+            vc_id=self._vc_seq, src=src, src_vci=vcis[id(tree_hops[0])],
+            leaves=leaves, hops=tree_hops, aal=aal or AAL5,
+            pcr_cells_s=pcr_cells_s)
+        self.open_mcast[mvc.vc_id] = mvc
+        return mvc
 
     def teardown(self, vc: VirtualChannel) -> None:
         """Release a VC's switch-table entries."""

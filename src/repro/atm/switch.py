@@ -7,12 +7,22 @@ per-output-port buffer budget measured in cells; bursts that would
 overflow the buffer are dropped (and counted), which AAL5 reassembly at
 the receiving adapter turns into a lost PDU for the error-control layer
 to recover.
+
+A second, **multicast group table** maps an incoming ``(channel, vci)``
+to a *set* of output legs: a matching burst is replicated once per leg
+at the output ports (each copy subject to that port's buffer budget
+independently, as in a real output-buffered fabric).  Entries are
+programmed by :meth:`repro.atm.signaling.SignalingController.
+create_multicast` and are what lets a NIC-resident collective engine
+(:mod:`repro.atm.collective`) reach every member with a single PDU on
+the wire.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..sim import Simulator
 from .cell import CellBurst
@@ -44,6 +54,8 @@ class AtmSwitch:
         self.switching_latency_s = switching_latency_s
         self.output_buffer_cells = output_buffer_cells
         self._table: dict[tuple[int, int], VcRoute] = {}
+        #: multicast group table: (in_channel, vci) -> replication legs
+        self._mcast: dict[tuple[int, int], tuple[VcRoute, ...]] = {}
         #: fault state: a failed switch discards everything it receives
         self.up = True
         #: counters
@@ -51,6 +63,11 @@ class AtmSwitch:
         self.bursts_dropped = 0
         self.bursts_unroutable = 0
         self.bursts_faulted = 0
+        self.mcast_replicas = 0
+        # multicast telemetry is created lazily by program_multicast so
+        # metric snapshots of non-multicast runs are unchanged
+        self._m_mcast_in = None
+        self._m_mcast_replicas = None
         # telemetry handles (no-ops when the registry is disabled)
         _m = sim.metrics
         self._m_forwarded = _m.counter(
@@ -70,6 +87,7 @@ class AtmSwitch:
         self.up = False
 
     def restore(self) -> None:
+        """Power the switch back on; later bursts forward normally."""
         self.up = True
 
     def stall_port(self, out_channel: Channel) -> None:
@@ -80,6 +98,7 @@ class AtmSwitch:
         out_channel.stall()
 
     def unstall_port(self, out_channel: Channel) -> None:
+        """Unwedge a stalled output port; its queue drains in order."""
         out_channel.unstall()
 
     # ------------------------------------------------------------- VC table
@@ -94,9 +113,11 @@ class AtmSwitch:
         self._table[key] = VcRoute(out_channel, out_vci)
 
     def unprogram(self, in_channel: Channel, in_vci: int) -> None:
+        """Remove a VC-table entry (idempotent)."""
         self._table.pop((id(in_channel), in_vci), None)
 
     def lookup(self, in_channel: Channel, in_vci: int) -> VcRoute:
+        """The unicast route for an incoming ``(channel, vci)``."""
         try:
             return self._table[(id(in_channel), in_vci)]
         except KeyError:
@@ -104,11 +125,70 @@ class AtmSwitch:
                 f"switch {self.name}: no VC route for VCI {in_vci} "
                 f"on {in_channel.name}") from None
 
+    # ------------------------------------------------------- multicast table
+    def program_multicast(self, in_channel: Channel, in_vci: int,
+                          legs: Sequence[tuple[Channel, int]]) -> None:
+        """Install a multicast group entry: an arriving burst on
+        ``(in_channel, in_vci)`` is replicated onto every ``(out_channel,
+        out_vci)`` leg.  Legs may not repeat an output channel (one copy
+        per port, as in FORE's spanning-tree replication)."""
+        if not legs:
+            raise ValueError(
+                f"switch {self.name}: multicast group needs >= 1 leg")
+        seen: set[int] = set()
+        for out_channel, _ in legs:
+            if id(out_channel) in seen:
+                raise ValueError(
+                    f"switch {self.name}: duplicate multicast leg on "
+                    f"{out_channel.name}")
+            seen.add(id(out_channel))
+        key = (id(in_channel), in_vci)
+        if key in self._mcast or key in self._table:
+            raise ValueError(
+                f"switch {self.name}: VCI {in_vci} already mapped on "
+                f"{in_channel.name}")
+        self._mcast[key] = tuple(VcRoute(ch, vci) for ch, vci in legs)
+        if self._m_mcast_replicas is None:
+            _m = self.sim.metrics
+            self._m_mcast_in = _m.counter(
+                "atm.mcast_bursts_in",
+                help="bursts arriving on a multicast group VC",
+                switch=self.name)
+            self._m_mcast_replicas = _m.counter(
+                "atm.mcast_replicas",
+                help="burst copies fanned out by the multicast group table",
+                switch=self.name)
+
+    def unprogram_multicast(self, in_channel: Channel, in_vci: int) -> None:
+        """Remove a multicast group entry (idempotent)."""
+        self._mcast.pop((id(in_channel), in_vci), None)
+
     # ------------------------------------------------------------ forwarding
     def receive_burst(self, burst: CellBurst, channel: Channel) -> None:
+        """Switch one arriving burst: replicate it if its VC is a
+        multicast group, else forward per the unicast VC table."""
         if not self.up:
             self.bursts_faulted += 1
             self._m_sw_faulted.inc()
+            return
+        legs = self._mcast.get((id(channel), burst.vci))
+        if legs is not None:
+            self._m_mcast_in.inc()
+            for leg in legs:
+                out = leg.out_channel
+                if (self.output_buffer_cells is not None
+                        and out.queued_cells + burst.n_cells
+                        > self.output_buffer_cells):
+                    self.bursts_dropped += 1
+                    self._m_dropped.inc()
+                    continue
+                replica = dataclasses.replace(burst, vci=leg.out_vci)
+                self.bursts_forwarded += 1
+                self.mcast_replicas += 1
+                self._m_forwarded.inc()
+                self._m_mcast_replicas.inc()
+                self.sim.process(self._forward_later(replica, out),
+                                 name=f"switch-fwd:{self.name}")
             return
         try:
             route = self.lookup(channel, burst.vci)

@@ -37,6 +37,7 @@ _COMPONENT_MODULES = (
     "repro.faults.plan",     # fault kinds
     "repro.resilience",      # hsm-failover transport + adaptive EC
     "repro.apps.drivers",    # app drivers (imports the apps themselves)
+    "repro.core.mps.collectives",  # host/nic collective strategies
 )
 
 
@@ -97,7 +98,8 @@ def build_runtime(spec: ScenarioSpec, cluster=None):
                          flow=spec.flow, error=spec.error,
                          flow_kwargs=dict(spec.flow_kwargs),
                          error_kwargs=dict(spec.error_kwargs),
-                         resilience=resilience)
+                         resilience=resilience,
+                         collectives=spec.collectives)
     plan = build_fault_plan(spec)
     if plan is not None:
         from ..faults.injector import FaultInjector

@@ -371,8 +371,10 @@ class ScenarioSpec:
     The runtime section mirrors ``NCS_init(flow, error)`` writ large:
     ``mode`` names a registered transport tier (``p4`` / ``nsm`` /
     ``hsm`` out of the box), ``flow``/``error`` name registered control
-    policies with their keyword arguments alongside, and ``barriers``
-    declares cluster-wide barriers (id -> parties).
+    policies with their keyword arguments alongside, ``collectives``
+    names a registered collective strategy (``host`` trees by default,
+    ``nic`` for SBA-200 firmware offload), and ``barriers`` declares
+    cluster-wide barriers (id -> parties).
     """
 
     name: str
@@ -383,6 +385,7 @@ class ScenarioSpec:
     flow_kwargs: dict = field(default_factory=dict)
     error: Optional[str] = None
     error_kwargs: dict = field(default_factory=dict)
+    collectives: str = "host"
     barriers: dict = field(default_factory=dict)
     app: Optional[AppSpec] = None
     faults: Optional[FaultSpec] = None
@@ -409,6 +412,7 @@ class ScenarioSpec:
         _check_str(self.mode, "runtime.mode")
         _check_str(self.flow, "runtime.flow", optional=True)
         _check_str(self.error, "runtime.error", optional=True)
+        _check_str(self.collectives, "runtime.collectives")
         object.__setattr__(self, "flow_kwargs",
                            _plain_dict(self.flow_kwargs, "runtime.flow_kwargs"))
         object.__setattr__(self, "error_kwargs",
@@ -453,6 +457,8 @@ class ScenarioSpec:
                 kwargs = getattr(self, f"{key}_kwargs")
                 if kwargs:
                     runtime[f"{key}_kwargs"] = dict(kwargs)
+        if self.collectives != "host":
+            runtime["collectives"] = self.collectives
         if self.barriers:
             runtime["barriers"] = {str(k): v
                                    for k, v in sorted(self.barriers.items())}
@@ -482,7 +488,7 @@ class ScenarioSpec:
         runtime = raw.get("runtime", {})
         _check_table(runtime, "runtime",
                      ("mode", "flow", "flow_kwargs", "error", "error_kwargs",
-                      "barriers"))
+                      "collectives", "barriers"))
         kw: dict[str, Any] = {
             "name": raw["name"],
             "description": raw.get("description", ""),
@@ -491,6 +497,7 @@ class ScenarioSpec:
             "flow_kwargs": runtime.get("flow_kwargs", {}),
             "error": runtime.get("error"),
             "error_kwargs": runtime.get("error_kwargs", {}),
+            "collectives": runtime.get("collectives", "host"),
             "barriers": runtime.get("barriers", {}),
         }
         if "cluster" in raw:

@@ -30,6 +30,7 @@ from ..p4.api import P4Params
 from ..registry import TRANSPORTS
 from ..sim import SimProcess, SimulationError
 from .mts.scheduler import DEFAULT_PRIORITY, MtsScheduler
+from .mps.collectives import make_collectives
 from .mps.core import NcsMps
 from .mps.error_control import ErrorControl, MessageLost, make_error_control
 from .mps.flow_control import FlowControl, make_flow_control
@@ -60,7 +61,8 @@ class NcsNode:
         self.mps = NcsMps(
             self.scheduler, cluster, self.transport,
             flow_control=runtime.make_fc(),
-            error_control=runtime.make_ec())
+            error_control=runtime.make_ec(),
+            collectives=make_collectives(runtime.collectives, runtime, pid))
 
 
 class NcsRuntime:
@@ -73,9 +75,13 @@ class NcsRuntime:
                  p4_params: Optional[P4Params] = None,
                  flow_kwargs: Optional[dict] = None,
                  error_kwargs: Optional[dict] = None,
-                 resilience: Optional[Any] = None):
+                 resilience: Optional[Any] = None,
+                 collectives: str = "host"):
         self.cluster = cluster
         self.sim = cluster.sim
+        #: collective strategy name (repro.registry.COLLECTIVES);
+        #: "nic" offloads barrier/bcast/reduce to the SBA-200 engines
+        self.collectives = collectives
         #: optional ClusterResilience — must be set *before* the nodes
         #: are built (the hsm-failover transport builder reads its
         #: breaker parameters off the runtime)

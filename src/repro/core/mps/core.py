@@ -30,6 +30,7 @@ from ...sim import Activity, Event, Mailbox
 from ..mts import ops
 from ..mts.scheduler import MtsScheduler, SYSTEM_PRIORITY
 from ..mts.thread import NcsThread
+from .collectives import CollectiveStrategy, HostCollectives
 from .error_control import ErrorControl, MessageLost, NoErrorControl
 from .exceptions import RecvTimeout, RemoteException
 from .flow_control import FlowControl, NoFlowControl
@@ -83,7 +84,8 @@ class NcsMps:
     def __init__(self, scheduler: MtsScheduler, cluster: Cluster,
                  transport: NcsTransport,
                  flow_control: Optional[FlowControl] = None,
-                 error_control: Optional[ErrorControl] = None):
+                 error_control: Optional[ErrorControl] = None,
+                 collectives: Optional[CollectiveStrategy] = None):
         self.scheduler = scheduler
         self.cluster = cluster
         self.sim = cluster.sim
@@ -92,9 +94,11 @@ class NcsMps:
         self.transport = transport
         self.fc = flow_control or NoFlowControl()
         self.ec = error_control or NoErrorControl()
+        self.collectives = collectives or HostCollectives()
         scheduler.mps = self
         self.fc.bind(self)
         self.ec.bind(self)
+        self.collectives.bind(self)
         # message plumbing
         self.mailbox = Mailbox(self.sim, name=f"ncs:{self.pid}")
         self._sendsig_name = f"sendsig:{self.pid}"
@@ -186,9 +190,13 @@ class NcsMps:
         if isinstance(op, ops.Bcast):
             return self._handle_bcast(thread, op)
         if isinstance(op, ops.Barrier):
-            return self._handle_barrier(thread, op)
+            return self.collectives.handle_barrier(thread, op)
         if isinstance(op, ops.Throw):
             return self._handle_throw(thread, op)
+        if isinstance(op, ops.CollectiveBcast):
+            return self.collectives.handle_bcast(thread, op)
+        if isinstance(op, ops.CollectiveReduce):
+            return self.collectives.handle_reduce(thread, op)
         raise TypeError(f"not an MPS op: {op!r}")
 
     def _next_uid(self) -> tuple[int, int]:

@@ -9,12 +9,23 @@ bodies with ``yield from``::
 All collectives address *threads* — a member list is a sequence of
 ``(tid, pid)`` pairs, mirroring the ``identifier *list`` argument of
 ``NCS_bcast`` in Fig 7.
+
+When the process's collective strategy *offloads* (``collectives =
+"nic"``), :func:`bcast` and :func:`reduce` emit
+``CollectiveBcast``/``CollectiveReduce`` ops instead of composing
+Send/Recv trees — the operation then runs in adapter firmware (see
+:mod:`repro.core.mps.collectives`).  Offloaded reductions fold in
+sorted ``(pid, tid)`` member order (host reductions fold in arrival
+order), so non-commutative fold functions may differ between
+strategies; offloaded broadcasts always deliver one copy per
+destination process, like ``dedup_processes``.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Optional, Sequence
 
+from ..mts import ops
 from .message import NcsMessage
 
 __all__ = ["bcast", "gather", "scatter", "reduce", "all_to_all"]
@@ -30,13 +41,25 @@ def _me(ctx) -> tuple[int, int]:
     return (ctx.my_tid, ctx.my_pid)
 
 
+def _offloads(ctx) -> bool:
+    mps = getattr(ctx.scheduler, "mps", None)
+    return mps is not None and mps.collectives.offloads
+
+
 def bcast(ctx, members: Sequence[tuple[int, int]], data: Any, size: int,
           tag: int = 0, dedup_processes: bool = False):
     """1-to-many: send ``data`` to every member except the caller."""
-    others = [m for m in members if m != _me(ctx)]
-    if others:
-        yield ctx.bcast(others, data, size, tag=tag,
-                        dedup_processes=dedup_processes)
+    others = [tuple(m) for m in members if tuple(m) != _me(ctx)]
+    if not others:
+        return
+    if _offloads(ctx) and all(pid != ctx.my_pid for _, pid in others):
+        # NIC multicast reaches processes, not threads: offload only
+        # when no same-process sibling needs a local copy
+        yield ops.CollectiveBcast(
+            tuple(sorted({pid for _, pid in others})), data, size, tag)
+        return
+    yield ctx.bcast(others, data, size, tag=tag,
+                    dedup_processes=dedup_processes)
 
 
 def gather(ctx, root: tuple[int, int], members: Sequence[tuple[int, int]],
@@ -75,6 +98,11 @@ def reduce(ctx, root: tuple[int, int], members: Sequence[tuple[int, int]],
            data: Any, size: int, op: Callable[[Any, Any], Any]):
     """Many-to-1 with combination: the root returns
     ``op(op(a, b), c)...`` over every member's contribution."""
+    if _offloads(ctx):
+        result = yield ops.CollectiveReduce(
+            tuple(root), tuple(tuple(m) for m in members), data, size, op,
+            tag=_REDUCE_TAG)
+        return result
     if _me(ctx) == tuple(root):
         acc = data
         for _ in range(len([m for m in members if tuple(m) != tuple(root)])):

@@ -23,6 +23,7 @@ __all__ = [
     "Op", "NoOp", "Compute", "YieldCpu", "Sleep", "WaitEvent",
     "BlockSelf", "Unblock", "Join", "Spawn",
     "Send", "Recv", "Probe", "Bcast", "Barrier", "Throw",
+    "CollectiveBcast", "CollectiveReduce",
 ]
 
 
@@ -200,6 +201,41 @@ class Barrier(Op):
 
     barrier_id: int = 0
     parties: int = 0   # 0: every thread registered with the barrier service
+
+
+@dataclass(frozen=True)
+class CollectiveBcast(Op):
+    """Offloaded 1-to-many: hand a broadcast to the process's collective
+    strategy (e.g. the NIC engine) instead of per-target ``Send`` s.
+
+    ``targets`` are destination *pids*; delivery matches any thread of
+    the destination process (like ``Bcast`` with ``dedup_processes``).
+    The caller blocks until the strategy confirms cluster-wide delivery.
+    """
+
+    targets: Sequence[int]
+    data: Any
+    size: int
+    tag: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("size must be non-negative")
+
+
+@dataclass(frozen=True)
+class CollectiveReduce(Op):
+    """Offloaded many-to-1 fold: every member contributes ``data``; the
+    ``root`` member's thread resumes with the combined value (folded in
+    sorted ``(pid, tid)`` member order), every other member's with None.
+    """
+
+    root: tuple          # (tid, pid) receiving the result
+    members: Sequence[tuple]
+    data: Any
+    size: int
+    op: Any              # fold fn(acc, value) -> acc
+    tag: int = 0
 
 
 @dataclass(frozen=True)

@@ -323,7 +323,8 @@ class MtsScheduler:
             return "continue"
 
         if isinstance(op, (ops.Send, ops.Recv, ops.Probe, ops.Bcast,
-                           ops.Barrier, ops.Throw)):
+                           ops.Barrier, ops.Throw,
+                           ops.CollectiveBcast, ops.CollectiveReduce)):
             if self.mps is None:
                 raise SchedulerError(
                     "message-passing op used without an MPS "

@@ -4,7 +4,9 @@ A :class:`~repro.obs.MetricsRegistry` snapshot is exact but wide —
 hundreds of label sets across a dozen metric families.  This module
 reduces it (plus the driver's summary) to the handful of numbers an
 experimenter actually regresses on: makespan, goodput, loss and
-retransmission rates, fault/self-healing counts, and delivery-latency
+retransmission rates, fault/self-healing counts, host events
+(scheduler context switches — the cost NIC-offloaded collectives
+exist to avoid), collective-engine counters, and delivery-latency
 quantiles pulled from the ``mps.delivery_latency_s`` histogram via
 :mod:`repro.obs.kpi`.
 
@@ -31,7 +33,7 @@ __all__ = ["KpiRow", "extract_kpis", "goodput", "render_table",
            "write_kpi_doc", "load_kpi_doc", "KPI_SCHEMA"]
 
 #: bumped when row fields change shape (forces a golden regeneration)
-KPI_SCHEMA = 1
+KPI_SCHEMA = 2
 
 
 @dataclass(frozen=True)
@@ -55,6 +57,10 @@ class KpiRow:
     deaths: int
     rejoins: int
     reassigned_units: int
+    host_events: int
+    collective_ops: int
+    collective_retransmits: int
+    collective_lost: int
     p50_delivery_s: Optional[float]
     p99_delivery_s: Optional[float]
 
@@ -114,6 +120,11 @@ def extract_kpis(spec, snapshot: Mapping[str, Any],
         retransmissions=retrans,
         retransmit_rate=round(retrans / sent, 6) if sent else 0.0,
         faults_injected=int(counter_total(snapshot, "faults.events_begun")),
+        host_events=int(counter_total(snapshot, "mts.context_switches")),
+        collective_ops=int(counter_total(snapshot, "collective.ops")),
+        collective_retransmits=int(
+            counter_total(snapshot, "collective.retransmissions")),
+        collective_lost=int(counter_total(snapshot, "collective.lost")),
         p50_delivery_s=_round(histogram_quantile(latency, 0.50), 9),
         p99_delivery_s=_round(histogram_quantile(latency, 0.99), 9),
         **resilience,
@@ -159,6 +170,8 @@ _TABLE_COLUMNS = (
     ("faults", "faults_injected", "d"),
     ("failover", "failovers", "d"),
     ("reassign", "reassigned_units", "d"),
+    ("hostev", "host_events", "d"),
+    ("coll", "collective_ops", "d"),
     ("p50_ms", "p50_delivery_s", "ms"),
     ("p99_ms", "p99_delivery_s", "ms"),
 )

@@ -15,7 +15,10 @@ plug point instead of an ``if/elif`` chain:
 * :data:`APP_DRIVERS` — driver name -> scenario app driver
   (``repro.apps.drivers``);
 * :data:`FAULT_KINDS` — fault-event kind -> event dataclass
-  (``repro.faults.plan``).
+  (``repro.faults.plan``);
+* :data:`COLLECTIVES` — collective-strategy name -> per-node strategy
+  factory (``repro.core.mps.collectives``): host-side trees vs
+  NIC-offloaded barrier/bcast/reduce.
 
 Components register themselves at import time::
 
@@ -41,7 +44,7 @@ from typing import Any, Callable, Iterator, Optional
 __all__ = [
     "Registry", "UnknownNameError", "DuplicateNameError",
     "TRANSPORTS", "TOPOLOGIES", "FLOW_CONTROLS", "ERROR_CONTROLS",
-    "APP_DRIVERS", "FAULT_KINDS", "all_registries",
+    "APP_DRIVERS", "FAULT_KINDS", "COLLECTIVES", "all_registries",
 ]
 
 
@@ -156,6 +159,10 @@ APP_DRIVERS = Registry("app driver")
 #: fault kind -> :class:`~repro.faults.plan.FaultEvent` dataclass
 FAULT_KINDS = Registry("fault kind")
 
+#: strategy name -> :class:`~repro.core.mps.collectives.CollectiveStrategy`
+#: factory ``(runtime, pid) -> CollectiveStrategy``
+COLLECTIVES = Registry("collective strategy")
+
 
 def all_registries() -> dict[str, Registry]:
     """Every registry, keyed by a stable section name (``--list`` order).
@@ -171,4 +178,5 @@ def all_registries() -> dict[str, Registry]:
         "error-controls": ERROR_CONTROLS,
         "app-drivers": APP_DRIVERS,
         "fault-kinds": FAULT_KINDS,
+        "collectives": COLLECTIVES,
     }

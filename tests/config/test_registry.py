@@ -79,7 +79,8 @@ def test_stock_components_are_registered():
         "fft-p4", "fft-ncs", "pingpong", "ring", "stream"}
     regs = all_registries()
     assert set(regs) == {"transports", "topologies", "flow-controls",
-                         "error-controls", "app-drivers", "fault-kinds"}
+                         "error-controls", "app-drivers", "fault-kinds",
+                         "collectives"}
 
 
 def test_third_party_transport_plugs_in():

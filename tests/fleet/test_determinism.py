@@ -48,5 +48,5 @@ def test_kpi_document_has_no_timestamps(tmp_path):
     doc = run_fleet(fleet, jobs=1).kpi_doc()
     text = json.dumps(doc)
     assert "time\"" not in text and "timestamp" not in text
-    assert doc["schema"] == 1
+    assert doc["schema"] == 2
     assert set(doc) == {"schema", "fleet", "rows"}
