@@ -176,6 +176,49 @@ def _ring(run):
 
 
 @APP_DRIVERS.register(
+    "alltoall",
+    help="Every host exchanges with every peer each round (parallel load)")
+def _alltoall(run):
+    """Dense all-to-all rounds: every pid sends to every peer, then
+    receives the ``n - 1`` messages addressed to it, then the round
+    advances.  Unlike ``ring`` (a single token circulating), every host
+    has independent work in flight at all times — the workload the
+    sharded kernel's scaling benchmark needs, since a sequential token
+    ring leaves all but one shard idle.
+
+    Returns per-pid *counts* rather than message lists so the result
+    merges cleanly across shard universes (a ghost pid's count is 0 and
+    the owner's count wins under the numeric-max merge rule)."""
+    p = run.params
+    rounds = int(p.get("rounds", 2))
+    nbytes = int(p.get("nbytes", 1024))
+    tag_base = int(p.get("tag_base", 100))
+    barrier_id = int(p.get("barrier", 0))
+    rt = run.runtime
+    n = run.cluster.n_hosts
+    if barrier_id not in rt.nodes[0].mps.barrier_parties:
+        rt.register_barrier(barrier_id, n)
+    received = {pid: 0 for pid in range(n)}
+
+    def body(ctx, pid):
+        for r in range(rounds):
+            for peer in range(n):
+                if peer != pid:
+                    yield ctx.send(-1, peer, (pid, r), nbytes,
+                                   tag=r + tag_base)
+            for _ in range(n - 1):
+                yield ctx.recv(tag=r + tag_base)
+                received[pid] += 1
+        yield ctx.barrier(barrier_id)
+
+    for pid in range(n):
+        rt.t_create(pid, body, (pid,), name=f"a2a{pid}")
+    makespan = rt.run()
+    return {"makespan_s": makespan, "rounds": rounds,
+            "received": {str(k): v for k, v in received.items()}}
+
+
+@APP_DRIVERS.register(
     "collective",
     help="Barrier + broadcast + reduce rounds (the collectives workload)")
 def _collective(run):

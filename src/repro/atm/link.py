@@ -179,8 +179,19 @@ class Channel:
                         burst.corrupted = True
                         self.bursts_corrupted += 1
             self.bursts_carried += 1
-            self.sim.process(self._deliver_later(burst),
-                             name=f"chan-deliver:{self.name}")
+            self._dispatch(burst)
+
+    def _dispatch(self, burst: CellBurst) -> None:
+        """Hand one serialized burst to the propagation leg.
+
+        This is the sharded-kernel seam: the default launches the usual
+        in-universe propagation process, while ``repro.sim.sharded``
+        overrides it per-instance on channels that cross a shard cut so
+        the burst is exported to the owning worker's outbox instead of
+        being delivered locally.
+        """
+        self.sim.process(self._deliver_later(burst),
+                         name=f"chan-deliver:{self.name}")
 
     def _deliver_later(self, burst: CellBurst):
         yield self.sim.timeout(self.spec.prop_delay_s)

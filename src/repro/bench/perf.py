@@ -111,6 +111,39 @@ def bench_mps_pingpong(n_roundtrips: int = 200, size: int = 1024) -> dict:
             "makespan_s": round(makespan, 9)}
 
 
+def bench_kernel_sharded(shards: int, n_sites: int = 8,
+                         rounds: int = 10) -> dict:
+    """The sharded kernel's scaling ladder: a dense all-to-all workload
+    on an ``n_sites``-site WAN ring, split over ``shards`` worker
+    kernels (``shards=1`` is the plain single-kernel baseline).
+
+    The ``sim`` fields are identical across the whole ladder — the
+    sharded kernel is bit-deterministic — so only ``wall_s`` varies
+    with the shard count.  Interpreting the ladder needs the host core
+    count next to it: on a single-core host the worker processes
+    time-slice one CPU and the ladder mostly measures coordination
+    overhead; parallel speedup needs >= ``shards`` cores.
+    """
+    from ..config.build import run_scenario
+    from ..config.spec import AppSpec, ClusterSpec, ScenarioSpec
+
+    spec = ScenarioSpec(
+        name=f"bench-sharded-s{shards}",
+        cluster=ClusterSpec(topology="wan-ring", seed=1995,
+                            options={"n_sites": n_sites,
+                                     "hosts_per_site": 1}),
+        mode="hsm",
+        app=AppSpec(driver="alltoall",
+                    params={"rounds": rounds, "nbytes": 1024}),
+        shards=shards,
+    )
+    result = run_scenario(spec)
+    return {"shards": shards, "n_sites": n_sites, "rounds": rounds,
+            "events_processed":
+                int(result.cluster.metrics.value("sim.events_processed")),
+            "makespan_s": round(result.value["makespan_s"], 9)}
+
+
 # ----------------------------------------------------------------- app paths
 def bench_app_matmul(n: int = 32, n_nodes: int = 2) -> dict:
     from ..apps.matmul import run_matmul_ncs
@@ -143,6 +176,10 @@ KERNEL_BENCHMARKS: dict[str, Callable[[], dict]] = {
     "kernel.event_loop": bench_kernel_event_loop,
     "mts.context_switch": bench_mts_context_switch,
     "mps.pingpong": bench_mps_pingpong,
+    "kernel.sharded_events.s1": lambda: bench_kernel_sharded(1),
+    "kernel.sharded_events.s2": lambda: bench_kernel_sharded(2),
+    "kernel.sharded_events.s4": lambda: bench_kernel_sharded(4),
+    "kernel.sharded_events.s8": lambda: bench_kernel_sharded(8),
 }
 APP_BENCHMARKS: dict[str, Callable[[], dict]] = {
     "apps.matmul_ncs": bench_app_matmul,

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from ..registry import APP_DRIVERS, TOPOLOGIES
+from ..registry import APP_DRIVERS, KERNELS, TOPOLOGIES
 from .spec import ClusterSpec, ObsSpec, ScenarioSpec, SpecError
 
 __all__ = ["ensure_components", "build_cluster", "build_fault_plan",
@@ -38,6 +38,7 @@ _COMPONENT_MODULES = (
     "repro.resilience",      # hsm-failover transport + adaptive EC
     "repro.apps.drivers",    # app drivers (imports the apps themselves)
     "repro.core.mps.collectives",  # host/nic collective strategies
+    "repro.sim.sharded",     # the sharded parallel kernel
 )
 
 
@@ -169,8 +170,23 @@ class ScenarioResult:
 
 
 def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
-    """Resolve the app driver, run it, export telemetry per the spec."""
+    """Execute a scenario on its selected kernel.
+
+    ``runtime.kernel`` dispatches through :data:`repro.registry.KERNELS`
+    — ``single`` (the default, below) drives the whole cluster on one
+    in-process event loop; ``sharded`` partitions it across worker
+    kernels (:mod:`repro.sim.sharded`).
+    """
     ensure_components()
+    if spec.kernel != "single":
+        return KERNELS.get(spec.kernel)(spec)
+    return _run_scenario_single(spec)
+
+
+@KERNELS.register("single",
+                  help="one in-process event loop for the whole cluster")
+def _run_scenario_single(spec: ScenarioSpec) -> ScenarioResult:
+    """Resolve the app driver, run it, export telemetry per the spec."""
     if spec.app is None:
         raise SpecError(
             f"scenario {spec.name!r} has no [app] table; nothing to run "

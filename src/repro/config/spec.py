@@ -375,6 +375,14 @@ class ScenarioSpec:
     names a registered collective strategy (``host`` trees by default,
     ``nic`` for SBA-200 firmware offload), and ``barriers`` declares
     cluster-wide barriers (id -> parties).
+
+    ``kernel`` names a simulation kernel in
+    :data:`repro.registry.KERNELS` (``single`` — the default in-process
+    event loop — or ``sharded``); ``shards`` > 1 auto-selects the
+    sharded kernel and sets its worker count, and ``shard_hints`` pins
+    named host groups (a host's directly-attached switch, e.g.
+    ``"sw-syr"``) to explicit shard indices instead of the default
+    round-robin assignment.
     """
 
     name: str
@@ -387,6 +395,9 @@ class ScenarioSpec:
     error_kwargs: dict = field(default_factory=dict)
     collectives: str = "host"
     barriers: dict = field(default_factory=dict)
+    kernel: str = "single"
+    shards: int = 1
+    shard_hints: dict = field(default_factory=dict)
     app: Optional[AppSpec] = None
     faults: Optional[FaultSpec] = None
     resilience: Optional[ResilienceSpec] = None
@@ -430,6 +441,23 @@ class ScenarioSpec:
                            f"parties must be a positive integer (got {v!r})")
             barriers[bid] = v
         object.__setattr__(self, "barriers", barriers)
+        _check_str(self.kernel, "runtime.kernel")
+        if not isinstance(self.shards, int) or self.shards < 1:
+            raise _err("runtime.shards",
+                       f"must be a positive integer (got {self.shards!r})")
+        hints: dict[str, int] = {}
+        for k, v in _plain_dict(self.shard_hints,
+                                "runtime.shard_hints").items():
+            if not isinstance(v, int) or v < 0:
+                raise _err(f"runtime.shard_hints[{k!r}]",
+                           f"shard index must be a non-negative integer "
+                           f"(got {v!r})")
+            hints[k] = v
+        object.__setattr__(self, "shard_hints", hints)
+        if self.shards > 1 and self.kernel == "single":
+            # shards > 1 is meaningless on the single kernel: selecting
+            # the shard count selects the sharded kernel
+            object.__setattr__(self, "kernel", "sharded")
         if self.flow_kwargs and self.flow is None:
             raise _err("runtime.flow_kwargs",
                        "given without runtime.flow; name the flow-control "
@@ -462,6 +490,12 @@ class ScenarioSpec:
         if self.barriers:
             runtime["barriers"] = {str(k): v
                                    for k, v in sorted(self.barriers.items())}
+        if self.kernel != "single":
+            runtime["kernel"] = self.kernel
+        if self.shards != 1:
+            runtime["shards"] = self.shards
+        if self.shard_hints:
+            runtime["shard_hints"] = dict(sorted(self.shard_hints.items()))
         if runtime:
             doc["runtime"] = runtime
         if self.app is not None:
@@ -488,7 +522,8 @@ class ScenarioSpec:
         runtime = raw.get("runtime", {})
         _check_table(runtime, "runtime",
                      ("mode", "flow", "flow_kwargs", "error", "error_kwargs",
-                      "collectives", "barriers"))
+                      "collectives", "barriers", "kernel", "shards",
+                      "shard_hints"))
         kw: dict[str, Any] = {
             "name": raw["name"],
             "description": raw.get("description", ""),
@@ -499,6 +534,9 @@ class ScenarioSpec:
             "error_kwargs": runtime.get("error_kwargs", {}),
             "collectives": runtime.get("collectives", "host"),
             "barriers": runtime.get("barriers", {}),
+            "kernel": runtime.get("kernel", "single"),
+            "shards": runtime.get("shards", 1),
+            "shard_hints": runtime.get("shard_hints", {}),
         }
         if "cluster" in raw:
             kw["cluster"] = ClusterSpec.from_dict(raw["cluster"])

@@ -31,7 +31,7 @@ from ..sim import NullTracer, RngRegistry, Simulator, Tracer
 from .topology import Cluster, NodeStack
 
 __all__ = ["SiteSpec", "build_nynet", "build_nynet_from_spec",
-           "nynet_testbed"]
+           "build_wan_ring", "nynet_testbed"]
 
 
 @dataclass(frozen=True)
@@ -153,3 +153,82 @@ def build_nynet_from_spec(sites: list, **kw) -> Cluster:
                 f"cluster.options.sites[{i}]: expected a table, "
                 f"got {site!r}")
     return build_nynet(site_specs, **kw)
+
+
+@TOPOLOGIES.register(
+    "wan-ring",
+    help="N site switches in a DS-3 ring, one shardable site per switch")
+def build_wan_ring(n_sites: int = 8,
+                   hosts_per_site: int = 1,
+                   params: HostParams = SUN_IPX,
+                   tcp_params: TcpParams | None = None,
+                   seed: int = 1995,
+                   trace: bool = False,
+                   metrics: bool = True,
+                   train_cells: int = 256,
+                   preconnect: bool = True) -> Cluster:
+    """A ring of NYNET-style sites for kernel-scaling experiments.
+
+    ``n_sites`` FORE switches sit on a DS-3 ring (each trunk is
+    deterministic and carries the full 2 ms propagation delay), with
+    ``hosts_per_site`` TAXI hosts behind each switch.  Because every
+    inter-site trunk is a switch-to-switch link with non-zero
+    propagation and no error RNG, the sharded kernel can cut the ring
+    anywhere: each site becomes its own shard group and the DS-3 delay
+    is the conservative lookahead.  Hosts get the same dual stack
+    (classical-IP PVC mesh + raw HSM PVC mesh) as every other topology.
+    """
+    if n_sites < 1:
+        raise ValueError("n_sites must be >= 1")
+    if hosts_per_site < 1:
+        raise ValueError("hosts_per_site must be >= 1")
+    sim = Simulator(metrics=MetricsRegistry() if metrics else NULL_REGISTRY)
+    rngs = RngRegistry(seed)
+    tracer = Tracer(sim) if trace else NullTracer(sim)
+    fabric = AtmFabric(sim)
+
+    switches = [fabric.add_switch(AtmSwitch(sim, f"sw-r{i}"))
+                for i in range(n_sites)]
+    if n_sites == 2:            # a 2-ring would double the single trunk
+        fabric.connect(switches[0], switches[1], DS3)
+    elif n_sites > 2:
+        for i in range(n_sites):
+            fabric.connect(switches[i], switches[(i + 1) % n_sites], DS3)
+
+    stacks: list[NodeStack] = []
+    pid = 0
+    for i, sw in enumerate(switches):
+        for k in range(hosts_per_site):
+            name = f"r{i}h{k}"
+            host = Host(sim, name, cpu=params.cpu, os=params.os,
+                        tracer=tracer)
+            sba = Sba200Adapter(sim, name, train_cells=train_cells)
+            host.attach_interface("atm", sba)
+            fabric.add_adapter(sba)
+            rng = rngs.stream(f"link.{name}")
+            fabric.connect(sba, sw, TAXI_140, rng_a=rng, rng_b=rng)
+            atm_api = AtmApi(host)
+            ip_adapter = AtmIpAdapter(atm_api)
+            ip = IpLayer(sim, name, ip_adapter)
+            ip_adapter.bind(ip)
+            tcp = TcpStack(host, ip, tcp_params)
+            stacks.append(NodeStack(
+                host=host, process=OsProcess(host, pid=pid), ip=ip, tcp=tcp,
+                socket=SocketLayer(host, tcp), udp=UdpStack(host, ip),
+                atm_api=atm_api))
+            pid += 1
+
+    sig = SignalingController(fabric)
+    cluster = Cluster(sim=sim, rngs=rngs, tracer=tracer, stacks=stacks,
+                      medium="wan-ring", fabric=fabric, signaling=sig)
+    names = [s.host.name for s in stacks]
+    for i, src in enumerate(names):
+        for j, dst in enumerate(names):
+            if i != j:
+                vc = sig.create_pvc(src, dst)
+                stacks[i].ip.adapter.register_vc(dst, vc)
+                stacks[j].ip.adapter.add_rx_vc(vc)
+                cluster.hsm_vcs[(i, j)] = sig.create_pvc(src, dst)
+    if preconnect:
+        cluster.preestablish_tcp_mesh()
+    return cluster

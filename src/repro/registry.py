@@ -18,7 +18,10 @@ plug point instead of an ``if/elif`` chain:
   (``repro.faults.plan``);
 * :data:`COLLECTIVES` — collective-strategy name -> per-node strategy
   factory (``repro.core.mps.collectives``): host-side trees vs
-  NIC-offloaded barrier/bcast/reduce.
+  NIC-offloaded barrier/bcast/reduce;
+* :data:`KERNELS` — simulation-kernel name -> scenario executor
+  (``repro.config.build`` / ``repro.sim.sharded``): the ``single``
+  in-process event loop vs the ``sharded`` multi-worker kernel.
 
 Components register themselves at import time::
 
@@ -44,7 +47,8 @@ from typing import Any, Callable, Iterator, Optional
 __all__ = [
     "Registry", "UnknownNameError", "DuplicateNameError",
     "TRANSPORTS", "TOPOLOGIES", "FLOW_CONTROLS", "ERROR_CONTROLS",
-    "APP_DRIVERS", "FAULT_KINDS", "COLLECTIVES", "all_registries",
+    "APP_DRIVERS", "FAULT_KINDS", "COLLECTIVES", "KERNELS",
+    "all_registries",
 ]
 
 
@@ -163,6 +167,9 @@ FAULT_KINDS = Registry("fault kind")
 #: factory ``(runtime, pid) -> CollectiveStrategy``
 COLLECTIVES = Registry("collective strategy")
 
+#: kernel name -> scenario executor ``(spec) -> ScenarioResult``
+KERNELS = Registry("simulation kernel")
+
 
 def all_registries() -> dict[str, Registry]:
     """Every registry, keyed by a stable section name (``--list`` order).
@@ -179,4 +186,5 @@ def all_registries() -> dict[str, Registry]:
         "app-drivers": APP_DRIVERS,
         "fault-kinds": FAULT_KINDS,
         "collectives": COLLECTIVES,
+        "kernels": KERNELS,
     }

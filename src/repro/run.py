@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.run scenario.toml [more.toml ...]
     python -m repro.run --seed 7 scenario.toml   # override cluster.seed
+    python -m repro.run --shards 4 scenario.toml # sharded parallel kernel
     python -m repro.run --list            # registered components
     python -m repro.run --print-spec s.toml   # canonical TOML, no run
 
@@ -134,6 +135,11 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=None,
                         help="override cluster.seed (stamps the spec digest: "
                              "a reseeded run is a different experiment)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="override runtime.shards: N > 1 partitions the "
+                             "simulation across worker kernels (selects the "
+                             "'sharded' kernel; results are bit-identical "
+                             "to the single kernel)")
     parser.add_argument("--import", dest="imports", action="append",
                         default=[], metavar="MODULE",
                         help="import MODULE first so third-party components "
@@ -171,6 +177,10 @@ def main(argv=None) -> int:
         if args.seed is not None:
             parser.error("--seed applies to single scenarios; parameterize "
                          "a fleet via a matrix axis on cluster.seed instead")
+        if args.shards is not None:
+            parser.error("--shards applies to single scenarios; "
+                         "parameterize a fleet via a matrix axis on "
+                         "runtime.shards instead")
         if args.check and args.write:
             parser.error("--check and --write are mutually exclusive "
                          "(check first, then write if the change is real)")
@@ -192,6 +202,10 @@ def main(argv=None) -> int:
             continue
         if args.seed is not None:
             spec = spec.with_cluster(seed=args.seed)
+        if args.shards is not None:
+            if args.shards < 1:
+                parser.error("--shards must be >= 1")
+            spec = spec.replace(shards=args.shards)
         if args.print_spec:
             print(dumps_toml(spec.to_dict()), end="")
             continue

@@ -5,6 +5,7 @@ from .kernel import (
     AnyOf,
     Event,
     Interrupt,
+    KernelCore,
     PENDING,
     SimProcess,
     SimulationError,
@@ -16,8 +17,8 @@ from .rng import RngRegistry
 from .trace import Activity, Interval, NullTracer, Timeline, Tracer
 
 __all__ = [
-    "AllOf", "AnyOf", "Event", "Interrupt", "PENDING", "SimProcess",
-    "SimulationError", "Simulator", "Timeout",
+    "AllOf", "AnyOf", "Event", "Interrupt", "KernelCore", "PENDING",
+    "SimProcess", "SimulationError", "Simulator", "Timeout",
     "Mailbox", "Resource", "Store",
     "RngRegistry",
     "Activity", "Interval", "NullTracer", "Timeline", "Tracer",

@@ -42,6 +42,7 @@ __all__ = [
     "SimProcess",
     "Interrupt",
     "SimulationError",
+    "KernelCore",
     "Simulator",
 ]
 
@@ -344,25 +345,23 @@ def _attach_context(exc: BaseException, proc: "SimProcess") -> BaseException:
     return exc
 
 
-class Simulator:
-    """The event calendar and virtual clock.
+class KernelCore:
+    """The event calendar and virtual clock — the shardable half.
 
-    All model components hold a reference to one ``Simulator``; creating
-    two simulators gives two fully isolated universes (used heavily by
-    the test-suite).
+    This seam holds exactly the state a parallel shard worker needs to
+    drive one partition of a simulation: the binary-heap calendar, the
+    monotonic sequence counter that breaks same-instant ties, and the
+    bounded run loops.  :class:`Simulator` layers the process/event
+    factories and allocation pools on top.  ``repro.sim.sharded`` reuses
+    this core unchanged in every worker process and adds a conservative
+    time-window barrier around :meth:`run_below`.
     """
-
-    #: cap on each recycled-event freelist (see :meth:`recycle`)
-    POOL_MAX = 256
 
     def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[SimProcess] = None
-        #: freelists of recycled one-shot events (:meth:`recycle`)
-        self._timeout_pool: list[Timeout] = []
-        self._event_pool: list[Event] = []
         #: the universe's telemetry registry: every layer built on this
         #: simulator publishes its counters here (pass
         #: ``repro.obs.NULL_REGISTRY`` for a zero-overhead run)
@@ -389,6 +388,117 @@ class Simulator:
             raise SimulationError(f"cannot schedule {delay!r}s in the past")
         seq = self._seq = self._seq + 1
         heapq.heappush(self._heap, (self._now + delay, seq, event))
+
+    def schedule_at(self, event: Event, when: float) -> None:
+        """Schedule an already-valued ``event`` at the absolute instant
+        ``when``.
+
+        ``Event.succeed(delay=when - now)`` goes through delay arithmetic
+        (``now + (when - now)``) which can land one ulp away from
+        ``when``.  Cross-shard arrivals must fire at *exactly* the float
+        the source universe computed — the sharded kernel pushes them
+        onto the calendar with this absolute form instead.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={when!r} before now={self._now!r}")
+        seq = self._seq = self._seq + 1
+        heapq.heappush(self._heap, (when, seq, event))
+
+    # ------------------------------------------------------------------- run
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        t, _, event = heapq.heappop(self._heap)
+        if t < self._now:  # pragma: no cover - kernel invariant
+            raise SimulationError("time went backwards")
+        self._now = t
+        self._m_events.inc()
+        event._process()
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run until the calendar empties, ``until`` is reached, or
+        ``max_events`` have been processed (a runaway guard for tests).
+
+        The stepping logic is inlined here (rather than calling
+        :meth:`step`) with the heap and telemetry handle bound to locals:
+        this loop executes once per event in every experiment, and with
+        telemetry disabled it performs zero per-event attribute lookups
+        beyond the pop itself.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        inc = self._m_events.inc if self.metrics.enabled else None
+        if until is None and max_events is None:
+            # the common full-drain run: the tightest possible loop
+            while heap:
+                entry = pop(heap)
+                self._now = entry[0]
+                if inc is not None:
+                    inc()
+                entry[2]._process()
+            return
+        count = 0
+        while heap:
+            if until is not None and heap[0][0] > until:
+                self._now = until
+                return
+            entry = pop(heap)
+            self._now = entry[0]
+            if inc is not None:
+                inc()
+            entry[2]._process()
+            count += 1
+            if max_events is not None and count >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} (possible livelock)")
+
+    def run_below(self, limit: float) -> int:
+        """Process every event strictly before ``limit``; return the count.
+
+        Unlike ``run(until=...)`` this does **not** clamp the clock to
+        ``limit``: ``_now`` is left at the last processed event, so a
+        caller may afterwards inject externally-sourced events at any
+        time ``>= limit`` (the sharded kernel's cross-shard arrivals,
+        which are guaranteed by the lookahead window to land at or past
+        the horizon).  Events scheduled during the call that still fall
+        below ``limit`` are processed in the same call.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        inc = self._m_events.inc if self.metrics.enabled else None
+        n = 0
+        while heap and heap[0][0] < limit:
+            entry = pop(heap)
+            self._now = entry[0]
+            if inc is not None:
+                inc()
+            entry[2]._process()
+            n += 1
+        return n
+
+
+class Simulator(KernelCore):
+    """The full simulation universe: a :class:`KernelCore` calendar plus
+    process/event factories and allocation pools.
+
+    All model components hold a reference to one ``Simulator``; creating
+    two simulators gives two fully isolated universes (used heavily by
+    the test-suite).
+    """
+
+    #: cap on each recycled-event freelist (see :meth:`recycle`)
+    POOL_MAX = 256
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        super().__init__(metrics)
+        #: freelists of recycled one-shot events (:meth:`recycle`)
+        self._timeout_pool: list[Timeout] = []
+        self._event_pool: list[Event] = []
 
     # ------------------------------------------------------------- factories
     def event(self, name: str = "") -> Event:
@@ -473,57 +583,6 @@ class Simulator:
         return AllOf(self, events)
 
     # ------------------------------------------------------------------- run
-    def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
-
-    def step(self) -> None:
-        """Process exactly one event."""
-        t, _, event = heapq.heappop(self._heap)
-        if t < self._now:  # pragma: no cover - kernel invariant
-            raise SimulationError("time went backwards")
-        self._now = t
-        self._m_events.inc()
-        event._process()
-
-    def run(self, until: Optional[float] = None,
-            max_events: Optional[int] = None) -> None:
-        """Run until the calendar empties, ``until`` is reached, or
-        ``max_events`` have been processed (a runaway guard for tests).
-
-        The stepping logic is inlined here (rather than calling
-        :meth:`step`) with the heap and telemetry handle bound to locals:
-        this loop executes once per event in every experiment, and with
-        telemetry disabled it performs zero per-event attribute lookups
-        beyond the pop itself.
-        """
-        heap = self._heap
-        pop = heapq.heappop
-        inc = self._m_events.inc if self.metrics.enabled else None
-        if until is None and max_events is None:
-            # the common full-drain run: the tightest possible loop
-            while heap:
-                entry = pop(heap)
-                self._now = entry[0]
-                if inc is not None:
-                    inc()
-                entry[2]._process()
-            return
-        count = 0
-        while heap:
-            if until is not None and heap[0][0] > until:
-                self._now = until
-                return
-            entry = pop(heap)
-            self._now = entry[0]
-            if inc is not None:
-                inc()
-            entry[2]._process()
-            count += 1
-            if max_events is not None and count >= max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events} (possible livelock)")
-
     def run_process(self, gen: Generator[Event, Any, Any], name: str = "",
                     until: Optional[float] = None) -> Any:
         """Convenience: register ``gen``, run to completion, return its value."""

@@ -1,0 +1,932 @@
+"""Sharded conservative parallel simulation kernel.
+
+``runtime.kernel = "sharded"`` partitions a spec-built cluster across
+worker universes — one :class:`~repro.sim.KernelCore` calendar per host
+group — and synchronizes them with the classic conservative
+null-message/window scheme, using cross-shard link propagation delay as
+lookahead.
+
+Design
+------
+Every worker builds the **full** cluster from the same spec (identical
+seeds, tids, VC tables), but only its own shard's host schedulers ever
+start: ghost hosts are event-silent replicas that exist so signaling
+tables, fault timers and topology state match the single-kernel universe
+bit for bit.  The only coupling between workers is the set of *cut
+channels* — directed ATM trunk channels whose upstream node lives in one
+shard and whose downstream node lives in another.  On the upstream side
+the channel's :meth:`~repro.atm.link.Channel._dispatch` seam is
+overridden to export the serialized burst (as a :class:`CutEvent`) at
+``now + prop_delay`` instead of delivering locally; the coordinator
+routes it to the downstream worker, which re-materializes the burst on
+its replica channel and delivers it at exactly the exported instant.
+
+Windows: each round every worker reports its next local event time and
+its outbox; the coordinator computes ``gm = min(peeks, pending
+arrivals)`` and grants the horizon ``gm + L`` where ``L`` is the
+smallest cut-channel propagation delay.  Any burst exported inside a
+window drains at ``t >= gm`` and therefore arrives at ``t + prop >= gm
++ L`` — at or past the horizon — so no worker ever receives an event in
+its past (``KernelCore.run_below`` leaves the clock strictly below the
+horizon).  Cross-shard arrivals are totally ordered by the merge key
+``(timestamp, shard, seq)``.
+
+Constraints: a shard cut must be a switch-to-switch WAN trunk — host
+TAXI links share a BER rng across both directions and a host can never
+be split from its own adapter/switch, so plans that would cut one raise
+:class:`~repro.config.spec.SpecError`.  HSM fabrics therefore never
+straddle a shard boundary except over such a bridged WAN link.  Drivers
+must drive the spec-built runtime (``rt.run()``); self-contained apps
+and drivers that aggregate cross-pid state locally (``collective``,
+``stream``) are rejected or unsupported.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import multiprocessing
+import os
+import queue as _queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..config.build import (ScenarioResult, ScenarioRun, _export_obs,
+                            build_cluster)
+from ..config.spec import ScenarioSpec, SpecError
+from ..registry import APP_DRIVERS, KERNELS
+from .kernel import Event, SimulationError
+from .trace import Activity, Interval, Timeline
+
+__all__ = [
+    "CutEvent", "ShardPlan", "plan_shards", "merge_key",
+    "merge_cut_events", "next_window", "run_scenario_sharded",
+    "MergedMetrics", "MergedTracer", "ShardedClusterView",
+]
+
+#: worker execution mode when none is passed: real processes where
+#: ``fork`` exists (benchmarks want parallelism), threads elsewhere.
+DEFAULT_MODE = "process" if hasattr(os, "fork") else "thread"
+
+
+# --------------------------------------------------------------------------
+# cross-shard events + pure merge helpers (property-tested in isolation)
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CutEvent:
+    """One burst crossing a shard cut, in wire-flat (picklable) form."""
+
+    arrival: float          # absolute delivery instant in the dest universe
+    src_shard: int
+    seq: int                # per-source-shard export sequence (1-based)
+    dest_shard: int
+    channel: str            # cut channel name (identical in every universe)
+    vc_id: int
+    is_mcast: bool
+    vci: int
+    msg_id: int
+    n_cells: int
+    payload_bytes: int
+    is_final: bool
+    corrupted: bool
+    enqueued_at: float
+    payload: Any = None
+
+
+def merge_key(ev: CutEvent) -> tuple[float, int, int]:
+    """The deterministic total order over cross-shard events."""
+    return (ev.arrival, ev.src_shard, ev.seq)
+
+
+def merge_cut_events(streams) -> list[CutEvent]:
+    """Merge per-shard outbox streams into one total order.
+
+    The result depends only on :func:`merge_key` — never on the
+    interleaving of the input streams — which is what makes the window
+    protocol replay-stable.
+    """
+    out = [ev for stream in streams for ev in stream]
+    out.sort(key=merge_key)
+    return out
+
+
+def next_window(peeks, pending_arrivals, lookahead: float):
+    """``(gm, horizon)`` for one coordinator round.
+
+    ``gm`` is the earliest thing anyone could do (a local event or an
+    undelivered cross-shard arrival); the horizon grants every worker
+    the right to process events strictly below ``gm + lookahead``.
+    ``gm == inf`` means global quiescence: ``(inf, inf)``.
+    """
+    gm = min(list(peeks) + list(pending_arrivals), default=math.inf)
+    if math.isinf(gm):
+        return math.inf, math.inf
+    return gm, gm + lookahead
+
+
+# --------------------------------------------------------------------------
+# shard planning
+# --------------------------------------------------------------------------
+
+@dataclass
+class ShardPlan:
+    """Which shard owns each pid/host/switch/channel, plus the cut set."""
+
+    n_shards: int
+    lookahead: float                      # min cut prop delay (inf: no cuts)
+    pid_shard: dict[int, int]
+    host_shard: dict[str, int]
+    switch_shard: dict[str, int]
+    channel_shard: dict[str, int]         # channel name -> upstream owner
+    cut_dest: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cut_channels(self) -> list[str]:
+        return sorted(self.cut_dest)
+
+    def owned_pids(self, shard: int) -> list[int]:
+        return sorted(p for p, s in self.pid_shard.items() if s == shard)
+
+
+def _node_label(node) -> str:
+    """Graph-node name: adapters carry ``host_name``, switches ``name``."""
+    return getattr(node, "host_name", None) or node.name
+
+
+def plan_shards(cluster, shards: int, shard_hints=None) -> ShardPlan:
+    """Partition ``cluster`` into at most ``shards`` host-group shards.
+
+    A *host group* is the set of hosts attached to the same switch
+    neighborhood; groups are assigned round-robin in min-pid order, or
+    pinned via ``shard_hints`` (switch name -> shard index).  Topologies
+    with a shared LAN medium or no ATM fabric collapse to one shard.
+    """
+    hints = dict(shard_hints or {})
+    n = cluster.n_hosts
+    host_names = [cluster.host(pid).name for pid in range(n)]
+    fabric = getattr(cluster, "fabric", None)
+
+    def trivial() -> ShardPlan:
+        switch_shard = ({name: 0 for name in fabric.switches}
+                        if fabric is not None else {})
+        channel_shard = {}
+        if fabric is not None:
+            for _a, _b, data in fabric.graph.edges(data=True):
+                link = data["link"]
+                channel_shard[link.fwd.name] = 0
+                channel_shard[link.rev.name] = 0
+        return ShardPlan(
+            n_shards=1, lookahead=math.inf,
+            pid_shard={pid: 0 for pid in range(n)},
+            host_shard={h: 0 for h in host_names},
+            switch_shard=switch_shard, channel_shard=channel_shard)
+
+    if shards <= 1 or fabric is None or getattr(cluster, "lan", None) is not None:
+        return trivial()
+
+    # ---- host groups keyed by the adapter's sorted switch neighborhood
+    groups: dict[tuple[str, ...], list[int]] = {}
+    for pid, hname in enumerate(host_names):
+        adapter = fabric.adapters[hname]
+        key = tuple(sorted(_node_label(nb)
+                           for nb in fabric.graph.neighbors(adapter)))
+        groups.setdefault(key, []).append(pid)
+    ordered = sorted(groups.items(), key=lambda kv: min(kv[1]))
+    eff = min(shards, len(ordered))
+    if eff <= 1:
+        return trivial()
+
+    for sw, s in hints.items():
+        if sw not in fabric.switches:
+            raise SpecError(
+                f"runtime.shard_hints names unknown switch {sw!r}; "
+                f"switches: {', '.join(sorted(fabric.switches))}")
+        if not (0 <= s < eff):
+            raise SpecError(
+                f"runtime.shard_hints[{sw!r}] = {s} is out of range for "
+                f"{eff} effective shard(s) (runtime.shards = {shards}, "
+                f"{len(ordered)} host group(s))")
+
+    # ---- assign groups: hints pin, the rest round-robin in min-pid order
+    pid_shard: dict[int, int] = {}
+    group_shard: list[tuple[tuple[str, ...], list[int], int]] = []
+    rr = 0
+    for key, pids in ordered:
+        hinted = sorted({hints[swn] for swn in key if swn in hints})
+        if len(hinted) > 1:
+            raise SpecError(
+                f"runtime.shard_hints conflict for host group {key}: "
+                f"hinted shards {hinted}")
+        if hinted:
+            s = hinted[0]
+        else:
+            s = rr % eff
+            rr += 1
+        group_shard.append((key, pids, s))
+        for pid in pids:
+            pid_shard[pid] = s
+    host_shard = {host_names[pid]: s for pid, s in pid_shard.items()}
+
+    # ---- host-attached switches follow the lowest-pid group they serve
+    claims: dict[str, tuple[int, int]] = {}       # switch -> (min pid, shard)
+    for key, pids, s in group_shard:
+        for swn in key:
+            cur = claims.get(swn)
+            if cur is None or min(pids) < cur[0]:
+                claims[swn] = (min(pids), s)
+    switch_shard = {swn: s for swn, (_mp, s) in claims.items()}
+
+    # ---- hostless switches (WAN backbones) join their nearest assigned
+    # neighbor, preferring the shard with the smallest member pid
+    shard_min_pid = {s: min(p for p, ps in pid_shard.items() if ps == s)
+                     for s in set(pid_shard.values())}
+    remaining = sorted(set(fabric.switches) - set(switch_shard))
+    while remaining:
+        snapshot = dict(switch_shard)
+        progressed = []
+        for swn in remaining:
+            sw = fabric.switches[swn]
+            cands = set()
+            for nb in fabric.graph.neighbors(sw):
+                label = _node_label(nb)
+                if label in snapshot:
+                    cands.add(snapshot[label])
+                elif label in host_shard:
+                    cands.add(host_shard[label])
+            if cands:
+                switch_shard[swn] = min(
+                    cands, key=lambda s: (shard_min_pid.get(s, n), s))
+                progressed.append(swn)
+        if not progressed:            # disconnected leftovers
+            for swn in remaining:
+                switch_shard[swn] = 0
+            break
+        remaining = [swn for swn in remaining if swn not in progressed]
+
+    def node_shard(node) -> int:
+        label = _node_label(node)
+        if label in switch_shard and label not in host_shard:
+            return switch_shard[label]
+        return host_shard[label]
+
+    # ---- channel ownership + the cut set
+    channel_shard: dict[str, int] = {}
+    cut_dest: dict[str, int] = {}
+    for a, b, data in fabric.graph.edges(data=True):
+        link = data["link"]
+        for ch in (link.fwd, link.rev):
+            up, down = (a, b) if ch.endpoint is b else (b, a)
+            su, sd = node_shard(up), node_shard(down)
+            channel_shard[ch.name] = su
+            if su != sd:
+                if (_node_label(up) not in fabric.switches
+                        or _node_label(down) not in fabric.switches):
+                    raise SpecError(
+                        f"shard plan cuts {ch.name!r}, a host link: hosts "
+                        "can never straddle a shard boundary — an HSM "
+                        "fabric may only be split across a switch-to-"
+                        "switch WAN trunk (adjust runtime.shard_hints)")
+                if ch._rng is not None:
+                    raise SpecError(
+                        f"shard plan cuts {ch.name!r}, which models bit "
+                        "errors with a shared rng; only error-free WAN "
+                        "trunks can bridge shards")
+                if ch.spec.prop_delay_s <= 0:
+                    raise SpecError(
+                        f"shard plan cuts {ch.name!r} with zero "
+                        "propagation delay: the conservative window "
+                        "needs positive lookahead on every cut")
+                cut_dest[ch.name] = sd
+    lookahead = math.inf
+    if cut_dest:
+        by_name = _index_channels(fabric)
+        lookahead = min(by_name[name].spec.prop_delay_s for name in cut_dest)
+    return ShardPlan(n_shards=eff, lookahead=lookahead,
+                     pid_shard=pid_shard, host_shard=host_shard,
+                     switch_shard=switch_shard, channel_shard=channel_shard,
+                     cut_dest=cut_dest)
+
+
+# --------------------------------------------------------------------------
+# worker side
+# --------------------------------------------------------------------------
+
+class _Aborted(BaseException):
+    """Raised inside a worker when the coordinator aborts the run."""
+
+
+class _QueueChannel:
+    """Thread-mode stand-in for an mp ``Connection``."""
+
+    def __init__(self, send_q: _queue.Queue, recv_q: _queue.Queue):
+        self._send_q = send_q
+        self._recv_q = recv_q
+
+    def send(self, msg) -> None:
+        self._send_q.put(msg)
+
+    def recv(self):
+        return self._recv_q.get()
+
+
+class _WorkerState:
+    """Mutable per-worker protocol state shared by the runtime patches."""
+
+    def __init__(self, shard_id: int, ctl):
+        self.shard_id = shard_id
+        self.ctl = ctl
+        self.outbox: list[CutEvent] = []
+        self.seq = 0
+        self.ran = False            # did the driver ever call rt.run()?
+        self.finished = False
+        self.t_final = 0.0
+        self.channels: dict[str, Any] = {}
+
+
+def _index_channels(fabric) -> dict[str, Any]:
+    chans: dict[str, Any] = {}
+    for _a, _b, data in fabric.graph.edges(data=True):
+        link = data["link"]
+        chans[link.fwd.name] = link.fwd
+        chans[link.rev.name] = link.rev
+    return chans
+
+
+def _make_export(ch, dest_shard: int, state: _WorkerState) -> Callable:
+    """An owned cut channel's ``_dispatch`` override: serialize + export."""
+    from ..atm.signaling import MulticastChannel
+
+    def _export(burst) -> None:
+        state.seq += 1
+        state.outbox.append(CutEvent(
+            arrival=ch.sim.now + ch.spec.prop_delay_s,
+            src_shard=state.shard_id, seq=state.seq, dest_shard=dest_shard,
+            channel=ch.name, vc_id=burst.vc.vc_id,
+            is_mcast=isinstance(burst.vc, MulticastChannel),
+            vci=burst.vci, msg_id=burst.msg_id, n_cells=burst.n_cells,
+            payload_bytes=burst.payload_bytes, is_final=burst.is_final,
+            corrupted=burst.corrupted, enqueued_at=burst.enqueued_at,
+            payload=burst.payload))
+    return _export
+
+
+def _inject(state: _WorkerState, cluster, rec: CutEvent) -> None:
+    """Re-materialize an imported burst at exactly ``rec.arrival``.
+
+    The burst's VC is rebound to this universe's replica (reassembly is
+    keyed by VC object identity) and delivery skips the replica
+    channel's queue: serialization was already simulated upstream, only
+    the propagation instant matters here.  ``schedule_at`` plants the
+    arrival at the exported float exactly — no delay re-arithmetic.
+    """
+    from ..atm.cell import CellBurst
+    sig = cluster.signaling
+    vc = (sig.open_mcast if rec.is_mcast else sig.open_vcs)[rec.vc_id]
+    ch = state.channels[rec.channel]
+    burst = CellBurst(vc=vc, vci=rec.vci, msg_id=rec.msg_id,
+                      n_cells=rec.n_cells, payload_bytes=rec.payload_bytes,
+                      is_final=rec.is_final, payload=rec.payload,
+                      corrupted=rec.corrupted, enqueued_at=rec.enqueued_at)
+    sim = cluster.sim
+    ev = Event(sim, name=f"cut-arrival:{rec.channel}")
+    ev.add_callback(lambda _e: ch.endpoint.receive_burst(burst, ch))
+    sim.schedule_at(ev, rec.arrival)
+
+
+def _patch_runtime(rt, cluster, plan: ShardPlan, state: _WorkerState) -> None:
+    """Instance-patch ``rt.start``/``rt.run`` into shard-worker form."""
+    from ..core.mps.error_control import MessageLost
+    sim = cluster.sim
+    shard = state.shard_id
+    owned = plan.owned_pids(shard)
+    state.channels = _index_channels(cluster.fabric)
+    for name, dest in sorted(plan.cut_dest.items()):
+        if plan.channel_shard[name] == shard:
+            ch = state.channels[name]
+            ch._dispatch = _make_export(ch, dest, state)
+
+    def start():
+        if rt._started:
+            raise RuntimeError("runtime already started")
+        rt._started = True
+        rt._procs = [None] * len(rt.nodes)
+        rt._finish_times = [None] * len(rt.nodes)
+        for pid in owned:
+            proc = rt.nodes[pid].scheduler.start()
+            rt._procs[pid] = proc
+            proc.add_callback(
+                lambda ev, i=pid: rt._finish_times.__setitem__(i, sim.now))
+        return [rt._procs[pid] for pid in owned]
+
+    def run(until=None, max_events=None,
+            raise_thread_errors=True, raise_message_lost=True):
+        if state.finished:
+            raise SpecError(
+                "the sharded kernel drives runtime.run() exactly once "
+                "per scenario; restructure the driver to a single run")
+        if max_events is not None:
+            raise SpecError("max_events is not supported on the sharded "
+                            "kernel (there is no global event counter)")
+        state.ran = True
+        if not rt._started:
+            rt.start()
+        ctl = state.ctl
+        ctl.send(("hello", until))
+        makespan = 0.0
+        while True:
+            done = [t for t in rt._finish_times if t is not None]
+            ctl.send(("report", sim.peek(), tuple(state.outbox), sim._now,
+                      max(done) if done else None))
+            state.outbox.clear()
+            msg = ctl.recv()
+            kind = msg[0]
+            if kind == "window":
+                horizon, arrivals = msg[1], msg[2]
+                for rec in arrivals:
+                    _inject(state, cluster, rec)
+                sim.run_below(horizon)
+            elif kind == "final":
+                state.t_final, makespan = msg[1], msg[2]
+                state.finished = True
+                break
+            elif kind == "abort":
+                raise _Aborted()
+            else:  # pragma: no cover - protocol invariant
+                raise SimulationError(
+                    f"unexpected coordinator message {kind!r}")
+        # align every universe's clock before telemetry close/export
+        sim._now = state.t_final
+        # owned-only epilogue, mirroring NcsRuntime.run
+        if raise_thread_errors:
+            for pid in owned:
+                for thread in rt.nodes[pid].scheduler.threads.values():
+                    if thread.error is not None:
+                        raise thread.error
+        for pid in owned:
+            proc = rt._procs[pid]
+            if proc is not None and proc.triggered and not proc.ok:
+                _ = proc.value
+        if raise_message_lost:
+            lost = [m for pid in owned
+                    for m in rt.nodes[pid].mps.lost_messages]
+            if rt.resilience is not None:
+                lost = [m for m in lost if not rt.resilience.forgives(m)]
+            if lost:
+                m = lost[0]
+                raise MessageLost(
+                    f"{len(lost)} message(s) permanently lost (first: "
+                    f"{m.kind.value} {m.msg_uid} from process "
+                    f"{m.from_process} to process {m.to_process})")
+        unfinished = [rt._procs[pid] for pid in owned
+                      if rt._procs[pid] is not None
+                      and not rt._procs[pid].triggered]
+        if rt.resilience is not None:
+            unfinished = [rt._procs[pid] for pid in owned
+                          if rt._procs[pid] is not None
+                          and not rt._procs[pid].triggered
+                          and not rt.nodes[pid].mps.host.frozen]
+        if unfinished and until is None:
+            names = ", ".join(p.name for p in unfinished)
+            raise SimulationError(
+                f"deadlock: schedulers never finished: {names}")
+        return makespan
+
+    rt.start = start
+    rt.run = run
+
+
+def _serialize_result(value, cluster) -> dict:
+    """A worker's contribution, flattened to plain picklable structures."""
+    tracer = cluster.tracer
+    return {
+        "value": value,
+        "snapshot": cluster.metrics.snapshot(),
+        "trace": {
+            "timelines": {
+                entity: [(iv.start, iv.end, iv.activity.value, iv.label)
+                         for iv in tl.intervals]
+                for entity, tl in tracer.timelines.items()},
+            "events": list(tracer.events),
+        },
+    }
+
+
+def _run_worker(spec: ScenarioSpec, shard_id: int, ctl) -> None:
+    """One shard worker: build the full universe, drive it by windows."""
+    try:
+        driver = APP_DRIVERS.get(spec.app.driver)
+        run = ScenarioRun(spec)
+        state = _WorkerState(shard_id, ctl)
+        rt = run.runtime                    # cluster + faults + barriers
+        cluster = run.cluster
+        plan = plan_shards(cluster, spec.shards, spec.shard_hints)
+        _patch_runtime(rt, cluster, plan, state)
+        value = driver(run)
+        if not state.ran:
+            raise SpecError(
+                f"driver {spec.app.driver!r} never drove the spec-built "
+                "runtime; the sharded kernel requires a runtime driver "
+                "(self-contained apps build their own cluster)")
+        cluster.sim._now = state.t_final
+        cluster.tracer.close_all()
+        payload = _serialize_result(value, cluster)
+        try:
+            ctl.send(("done", payload))
+        except Exception as exc:
+            ctl.send(("error", RuntimeError(
+                f"shard {shard_id}: result not transferable: {exc!r}")))
+    except _Aborted:
+        ctl.send(("aborted",))
+    except BaseException as exc:  # noqa: BLE001 - reported to coordinator
+        try:
+            ctl.send(("error", exc))
+        except Exception:
+            ctl.send(("error", RuntimeError(
+                f"shard {shard_id}: {type(exc).__name__}: {exc}")))
+
+
+def _worker_process_main(doc_json: str, shard_id: int, conn) -> None:
+    """Forked-child entry: rebuild the spec and run the worker body."""
+    from ..config.build import ensure_components
+    ensure_components()
+    spec = ScenarioSpec.from_dict(json.loads(doc_json))
+    _run_worker(spec, shard_id, conn)
+
+
+# --------------------------------------------------------------------------
+# coordinator
+# --------------------------------------------------------------------------
+
+def _recv(ctl, shard: int):
+    try:
+        return ctl.recv()
+    except (EOFError, OSError) as exc:
+        return ("error", RuntimeError(
+            f"shard {shard} worker died without reporting: {exc!r}"))
+
+
+def _abort_all(ctls, active, errors) -> None:
+    """Stop surviving workers, drain their terminal messages, re-raise."""
+    for s in active:
+        try:
+            ctls[s].send(("abort",))
+        except Exception:
+            pass
+    for s in active:
+        while True:
+            msg = _recv(ctls[s], s)
+            if msg[0] in ("aborted", "done"):
+                break
+            if msg[0] == "error":
+                errors.setdefault(s, msg[1])
+                break
+    raise errors[min(errors)]
+
+
+def _coordinate(ctls, plan: ShardPlan) -> list[dict]:
+    """Drive the window protocol; return per-shard result payloads."""
+    S = plan.n_shards
+    active = list(range(S))
+    errors: dict[int, BaseException] = {}
+
+    hellos: dict[int, Any] = {}
+    for s in active:
+        msg = _recv(ctls[s], s)
+        if msg[0] == "error":
+            errors[s] = msg[1]
+        else:
+            hellos[s] = msg[1]
+    if errors:
+        _abort_all(ctls, [s for s in active if s not in errors], errors)
+    until = hellos[0]
+    if any(hellos[s] != until for s in active):
+        errors[0] = SpecError(
+            f"workers disagree on run(until=...): {sorted(hellos.items())}")
+        _abort_all(ctls, active, errors)
+
+    pending: list[list[CutEvent]] = [[] for _ in range(S)]
+    while True:
+        reports: dict[int, tuple] = {}
+        for s in active:
+            msg = _recv(ctls[s], s)
+            if msg[0] == "error":
+                errors[s] = msg[1]
+            else:
+                reports[s] = msg
+        if errors:
+            _abort_all(ctls, [s for s in active if s not in errors], errors)
+        for s in active:
+            for rec in reports[s][2]:
+                pending[rec.dest_shard].append(rec)
+        peeks = [reports[s][1] for s in active]
+        arrivals = [rec.arrival for box in pending for rec in box]
+        gm, horizon = next_window(peeks, arrivals, plan.lookahead)
+        if math.isinf(gm) or (until is not None and gm > until):
+            if until is not None and not math.isinf(gm):
+                t_final = until
+            else:
+                t_final = max(reports[s][3] for s in active)
+            done = [reports[s][4] for s in active
+                    if reports[s][4] is not None]
+            makespan = max(done) if done else t_final
+            for s in active:
+                ctls[s].send(("final", t_final, makespan))
+            break
+        if until is not None:
+            horizon = min(horizon, math.nextafter(until, math.inf))
+        for s in active:
+            box = merge_cut_events([pending[s]])
+            pending[s] = []
+            ctls[s].send(("window", horizon, tuple(box)))
+
+    payloads: list[Optional[dict]] = [None] * S
+    for s in active:
+        msg = _recv(ctls[s], s)
+        if msg[0] == "error":
+            errors[s] = msg[1]
+        elif msg[0] == "done":
+            payloads[s] = msg[1]
+    if errors:
+        raise errors[min(errors)]
+    return payloads  # type: ignore[return-value]
+
+
+# --------------------------------------------------------------------------
+# deterministic merges + single-universe facades
+# --------------------------------------------------------------------------
+
+def _parse_labels(label_str: str) -> dict[str, str]:
+    if not label_str:
+        return {}
+    return dict(kv.split("=", 1) for kv in label_str.split(","))
+
+
+def _merge_leaf(name: str, label_str: str, snaps: list[dict],
+                plan: ShardPlan):
+    """One metric series, resolved to its owning shard (or summed)."""
+    labels = _parse_labels(label_str)
+    if "pid" in labels:
+        owner = plan.pid_shard.get(int(labels["pid"]), 0)
+    elif "host" in labels:
+        owner = plan.host_shard.get(labels["host"], 0)
+    elif "switch" in labels:
+        owner = plan.switch_shard.get(labels["switch"], 0)
+    elif "link" in labels:
+        owner = plan.channel_shard.get(labels["link"], 0)
+    elif name.startswith("sim."):
+        vals = [s.get(name, {}).get(label_str, 0) for s in snaps]
+        if all(isinstance(v, (int, float)) for v in vals):
+            return sum(vals)
+        owner = 0
+    elif name.startswith("faults."):
+        owner = 0
+    else:
+        vals = [s.get(name, {}).get(label_str) for s in snaps]
+        nums = [v for v in vals if isinstance(v, (int, float))]
+        if len(nums) == len(vals):
+            return max(nums)
+        owner = 0
+    base = snaps[0][name][label_str]
+    return snaps[owner].get(name, {}).get(label_str, base)
+
+
+def _merge_snapshots(snaps: list[dict], plan: ShardPlan) -> dict:
+    """Rebuild the single-kernel metric snapshot from per-shard views.
+
+    Replicated construction guarantees every shard publishes the same
+    metric names and label sets; each series is taken wholesale from the
+    shard that owns its labeled entity.  Unlabeled ``sim.*`` meters are
+    summed (each worker counts its own calendar), ``faults.*`` come from
+    shard 0 (fault timers fire identically everywhere).
+    """
+    out: dict[str, dict[str, Any]] = {}
+    for name, series in snaps[0].items():
+        out[name] = {label_str: _merge_leaf(name, label_str, snaps, plan)
+                     for label_str in series}
+    return out
+
+
+def _entity_shard(entity: str, plan: ShardPlan) -> int:
+    """Which shard's tracer records are authoritative for ``entity``."""
+    if entity.startswith("fault:"):
+        return 0
+    if ":" in entity:
+        kind, _, rest = entity.partition(":")
+        if kind == "nic":
+            return plan.host_shard.get(rest, 0)
+        if kind in ("ncs", "ec", "detector", "failover") and rest.isdigit():
+            return plan.pid_shard.get(int(rest), 0)
+        if kind == "resilience":
+            return plan.pid_shard.get(0, 0)          # coordinator home
+        return 0
+    host = entity.split("/", 1)[0]
+    if host in plan.host_shard:
+        return plan.host_shard[host]
+    return plan.switch_shard.get(host, 0)
+
+
+def _merge_traces(traces: list[dict], plan: ShardPlan):
+    """Owner-filtered union of timelines + shard-ordered event concat.
+
+    ``repro.obs.export.iter_records`` stable-sorts records by
+    ``(t, kind, entity)``, so as long as each entity's records come
+    from exactly one shard (preserving that shard's per-entity order)
+    the exported Chrome trace is identical to the single-kernel one.
+    """
+    timelines: dict[str, Timeline] = {}
+    events: list[tuple] = []
+    for s, tr in enumerate(traces):
+        for entity, rows in tr["timelines"].items():
+            if _entity_shard(entity, plan) == s:
+                tl = Timeline(entity)
+                tl.intervals = [Interval(a, b, Activity(act), lab)
+                                for a, b, act, lab in rows]
+                timelines[entity] = tl
+        events.extend(ev for ev in tr["events"]
+                      if _entity_shard(ev[1], plan) == s)
+    return {e: timelines[e] for e in sorted(timelines)}, events
+
+
+def _merge_values(values: list):
+    """Merge per-shard driver return values into the single-kernel one.
+
+    Rules: equal values pass through; dicts merge per key; lists keep
+    the longest variant (per-pid accumulators are empty on ghosts);
+    unequal numbers keep the max (counts only grow where the pid is
+    real); ``None`` ghosts defer to any real value.  Drivers that fold
+    cross-pid state into scalars locally (``collective``'s ok-flags,
+    ``stream``'s mean latency) are outside this contract — use per-pid
+    structures instead.
+    """
+    vals = [v for v in values if v is not None]
+    if not vals:
+        return None
+    head = vals[0]
+    try:
+        if all(bool(v == head) for v in vals[1:]):
+            return head
+    except Exception:
+        pass
+    if all(isinstance(v, dict) for v in vals):
+        return {k: _merge_values([v.get(k) for v in vals]) for k in head}
+    if all(isinstance(v, list) for v in vals):
+        return max(vals, key=len)
+    if all(isinstance(v, (int, float)) for v in vals):
+        return max(vals)
+    return head
+
+
+class MergedMetrics:
+    """A read-only :class:`~repro.obs.registry.MetricsRegistry` facade
+    over the merged snapshot (enough surface for exports, fleet KPI
+    extraction and ``repro.run``'s summaries)."""
+
+    def __init__(self, snapshot: dict):
+        self._snapshot = snapshot
+        self.enabled = True
+
+    def snapshot(self) -> dict:
+        return self._snapshot
+
+    def total(self, name: str):
+        total = 0
+        for leaf in self._snapshot.get(name, {}).values():
+            if isinstance(leaf, (int, float)):
+                total += leaf
+            elif isinstance(leaf, dict):
+                total += leaf.get("sum", 0)
+        return total
+
+    def value(self, name: str, default=0, **labels):
+        key = ",".join(f"{k}={v}" for k, v in
+                       sorted((k, str(v)) for k, v in labels.items()))
+        return self._snapshot.get(name, {}).get(key, default)
+
+
+class MergedTracer:
+    """A :class:`~repro.sim.Tracer` facade over merged shard traces."""
+
+    def __init__(self, timelines: dict[str, Timeline], events: list[tuple]):
+        self.timelines = timelines
+        self.events = events
+        self.enabled = True
+
+    def close_all(self) -> None:
+        pass                       # workers closed their intervals already
+
+    def timeline(self, entity: str) -> Timeline:
+        tl = self.timelines.get(entity)
+        if tl is None:
+            tl = self.timelines[entity] = Timeline(entity)
+        return tl
+
+    def points(self, kind=None, entity=None) -> list[tuple]:
+        return [e for e in self.events
+                if (kind is None or e[2] == kind)
+                and (entity is None or e[1] == entity)]
+
+
+@dataclass
+class ShardedClusterView:
+    """The slice of ``Cluster`` the post-run consumers actually touch."""
+
+    tracer: MergedTracer
+    metrics: MergedMetrics
+    n_hosts: int
+
+
+# --------------------------------------------------------------------------
+# the registered kernel
+# --------------------------------------------------------------------------
+
+def _launch_threads(spec: ScenarioSpec, n: int):
+    ctls, workers = [], []
+    for s in range(n):
+        to_worker: _queue.Queue = _queue.Queue()
+        from_worker: _queue.Queue = _queue.Queue()
+        worker_ctl = _QueueChannel(from_worker, to_worker)
+        ctls.append(_QueueChannel(to_worker, from_worker))
+        workers.append(threading.Thread(
+            target=_run_worker, args=(spec, s, worker_ctl),
+            name=f"shard-{s}", daemon=True))
+    for t in workers:
+        t.start()
+    return ctls, workers
+
+
+def _launch_processes(spec: ScenarioSpec, n: int):
+    ctx = multiprocessing.get_context("fork")
+    doc = spec.canonical_json()
+    ctls, workers = [], []
+    for s in range(n):
+        parent_conn, child_conn = ctx.Pipe()
+        p = ctx.Process(target=_worker_process_main,
+                        args=(doc, s, child_conn), name=f"shard-{s}")
+        ctls.append(parent_conn)
+        workers.append(p)
+    for p in workers:
+        p.start()
+    return ctls, workers
+
+
+@KERNELS.register(
+    "sharded",
+    help="conservative parallel kernel: one worker universe per host group")
+def run_scenario_sharded(spec: ScenarioSpec,
+                         mode: Optional[str] = None) -> ScenarioResult:
+    """Execute ``spec`` across shard workers and merge one result view.
+
+    ``mode`` is ``"process"`` (forked workers, real parallelism) or
+    ``"thread"`` (in-process workers, used by tests and platforms
+    without ``fork``); default :data:`DEFAULT_MODE`.  When the plan
+    collapses to one shard the registered ``single`` kernel runs
+    instead, bit-identically.
+    """
+    from ..config.build import ensure_components
+    ensure_components()
+    if spec.app is None:
+        raise SpecError(
+            f"scenario {spec.name!r} has no [app] table; nothing to run "
+            "(specs without an app can still be built via build_runtime)")
+    APP_DRIVERS.get(spec.app.driver)          # fail fast on unknown names
+    try:
+        probe = build_cluster(spec.cluster, spec.obs)
+    except SpecError:
+        # Self-contained drivers (the paper's table apps) build their
+        # own platform cluster and leave the spec's cluster table
+        # partial — there is nothing to partition, so the single kernel
+        # runs (and re-raises if the spec is genuinely broken).
+        return KERNELS.get("single")(spec)
+    plan = plan_shards(probe, spec.shards, spec.shard_hints)
+    if plan.n_shards <= 1:
+        return KERNELS.get("single")(spec)
+    mode = mode or DEFAULT_MODE
+    if mode == "thread":
+        ctls, workers = _launch_threads(spec, plan.n_shards)
+    elif mode == "process":
+        ctls, workers = _launch_processes(spec, plan.n_shards)
+    else:
+        raise SpecError(f"unknown sharded-kernel mode {mode!r}; "
+                        "expected 'thread' or 'process'")
+    try:
+        payloads = _coordinate(ctls, plan)
+    finally:
+        for w in workers:
+            w.join(timeout=30)
+        if mode == "process":
+            for w in workers:
+                if w.is_alive():      # pragma: no cover - crash cleanup
+                    w.terminate()
+            for ctl in ctls:
+                ctl.close()
+    value = _merge_values([p["value"] for p in payloads])
+    snapshot = _merge_snapshots([p["snapshot"] for p in payloads], plan)
+    timelines, events = _merge_traces([p["trace"] for p in payloads], plan)
+    view = ShardedClusterView(tracer=MergedTracer(timelines, events),
+                              metrics=MergedMetrics(snapshot),
+                              n_hosts=probe.n_hosts)
+    result = ScenarioResult(spec, value, view, None)
+    _export_obs(result)
+    return result

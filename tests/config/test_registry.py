@@ -72,15 +72,17 @@ def test_stock_components_are_registered():
     ensure_components()
     assert set(TRANSPORTS.names()) >= {"p4", "nsm", "hsm"}
     assert set(TOPOLOGIES.names()) >= {
-        "ethernet", "atm-lan", "nynet", "nynet-testbed",
+        "ethernet", "atm-lan", "nynet", "nynet-testbed", "wan-ring",
         "platform-ethernet", "platform-nynet"}
     assert set(APP_DRIVERS.names()) >= {
         "matmul-p4", "matmul-ncs", "jpeg-p4", "jpeg-ncs",
-        "fft-p4", "fft-ncs", "pingpong", "ring", "stream"}
+        "fft-p4", "fft-ncs", "pingpong", "ring", "alltoall", "stream"}
+    from repro.registry import KERNELS
+    assert set(KERNELS.names()) >= {"single", "sharded"}
     regs = all_registries()
     assert set(regs) == {"transports", "topologies", "flow-controls",
                          "error-controls", "app-drivers", "fault-kinds",
-                         "collectives"}
+                         "collectives", "kernels"}
 
 
 def test_third_party_transport_plugs_in():

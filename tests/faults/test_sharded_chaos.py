@@ -1,0 +1,112 @@
+"""Chaos under the sharded kernel: faults on and across the shard cut.
+
+The conservative window protocol must be invisible to the fault layer.
+A WAN partition that severs exactly the hosts on opposite sides of the
+shard cut — the self-healing scenario from the resilience suite, moved
+onto the Fig 1 WAN — and a host link outage that forces error control
+to retransmit *through* the cut must both behave byte-identically to
+the single kernel: same deaths, same reassignments, same rejoin, same
+retransmission schedule, same traces.
+
+Replicated construction is what makes this work: every shard universe
+arms the full fault plan at the same absolute instants, so message
+filters and link state agree everywhere; only event *execution* is
+partitioned.
+"""
+
+from repro.config.build import run_scenario
+from repro.config.spec import ScenarioSpec
+from repro.obs.export import to_chrome_events
+from tests.perf_lock.scenarios import behavior_snapshot
+from tests.perf_lock.test_golden_lock import _diff_paths
+
+#: the resilience suite's healed-partition-rejoin scenario (see
+#: tests/resilience/test_recovery.py), re-sited onto the NYNET WAN so
+#: the partition boundary IS the shard cut: pids 0/1 upstate, pid 2
+#: downstate, severed for 0.25 s across the DS-3.
+PARTITION_DOC = {
+    "name": "sharded-partition-heal",
+    "cluster": {
+        "topology": "nynet",
+        "seed": 6,
+        "options": {"sites": [
+            {"name": "syr", "n_hosts": 2, "region": "upstate"},
+            {"name": "nyc", "n_hosts": 1, "region": "downstate"},
+        ]},
+    },
+    "runtime": {
+        "mode": "hsm", "error": "adaptive",
+        "error_kwargs": {"timeout_s": 0.01, "max_retries": 4,
+                         "check_interval_s": 0.002},
+    },
+    "resilience": {"heartbeat_interval_s": 0.02, "suspect_after_s": 0.06,
+                   "dead_after_s": 0.15, "failure_threshold": 3,
+                   "reset_timeout_s": 0.1, "probe_successes": 2},
+    "app": {"driver": "matmul-resilient",
+            "params": {"n": 48, "units": 12, "seed": 7,
+                       "compute_s_per_unit": 0.04, "poll_s": 0.05}},
+    "faults": {"events": [{"kind": "partition", "at": 0.02,
+                           "duration": 0.25, "groups": [[0, 1], [2]]}]},
+    "obs": {"trace": True, "metrics": True},
+}
+
+#: downstate host 2 loses its TAXI uplink mid-ring; ACK error control
+#: retransmits across the outage — and across the shard cut.
+OUTAGE_DOC = {
+    "name": "sharded-wan-outage",
+    "cluster": {
+        "topology": "nynet",
+        "options": {"sites": [
+            {"name": "syr", "n_hosts": 2, "region": "upstate"},
+            {"name": "nyc", "n_hosts": 1, "region": "downstate"},
+        ]},
+    },
+    "runtime": {"mode": "nsm", "error": "ack", "barriers": {"0": 3}},
+    "app": {"driver": "ring", "params": {"rounds": 2, "nbytes": 2048}},
+    "faults": {"events": [{"kind": "link-outage", "at": 0.004,
+                           "duration": 0.01, "host": 2}]},
+    "obs": {"trace": True, "metrics": True},
+}
+
+
+def _doc(result) -> dict:
+    result.cluster.tracer.close_all()
+    return {"value": result.value,
+            "metrics": behavior_snapshot(result.cluster.metrics),
+            "chrome": to_chrome_events(result.cluster.tracer)}
+
+
+def _run(doc: dict, shards: int):
+    spec = ScenarioSpec.from_dict(doc).replace(shards=shards)
+    return run_scenario(spec)
+
+
+def test_healed_partition_across_the_cut_matches_single_kernel():
+    single = _run(PARTITION_DOC, 1)
+    sharded = _run(PARTITION_DOC, 2)
+    # the chaos actually happened on both kernels: worker 2 was
+    # declared dead, its units reassigned, and it rejoined post-heal
+    for r in (single, sharded):
+        assert r.value["correct"] is True
+        assert r.value["reassigned_units"] >= 1
+        assert r.cluster.metrics.total("resilience.deaths") >= 1
+        assert r.cluster.metrics.total("resilience.rejoins") >= 1
+    diffs = _diff_paths(_doc(single), _doc(sharded))
+    assert not diffs, (
+        f"partition chaos diverged under sharding ({len(diffs)}):\n  "
+        + "\n  ".join(diffs[:40]))
+
+
+def test_link_outage_retransmit_across_the_cut_matches_single_kernel():
+    single = _run(OUTAGE_DOC, 1)
+    sharded = _run(OUTAGE_DOC, 2)
+    # the outage forced real retransmissions on both kernels
+    for r in (single, sharded):
+        assert r.value["received"] == {
+            "0": [(2, 0), (2, 1)], "1": [(0, 0), (0, 1)],
+            "2": [(1, 0), (1, 1)]}
+        assert r.cluster.metrics.total("ec.retransmissions") >= 1
+    diffs = _diff_paths(_doc(single), _doc(sharded))
+    assert not diffs, (
+        f"outage chaos diverged under sharding ({len(diffs)}):\n  "
+        + "\n  ".join(diffs[:40]))

@@ -129,7 +129,10 @@ class TestLoadFleet:
     def test_checked_in_matrix_loads(self):
         fleet = load_fleet("scenarios/matrix/small_sweep.toml")
         assert fleet.name == "small-sweep"
-        assert len(fleet.runs) == 8
+        # 2 sizes x 2 modes x 2 fault cells x 2 kernels (shards axis)
+        assert len(fleet.runs) == 16
+        kernels = {spec.kernel for _, spec in fleet.runs}
+        assert kernels == {"single", "sharded"}
 
     def test_fleet_spec_rejects_duplicate_run_ids(self):
         spec = ScenarioSpec.from_dict(BASE)
