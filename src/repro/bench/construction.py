@@ -1,0 +1,240 @@
+"""Construction bench: memory-proportional workers at WAN scale.
+
+The blueprint layer's whole point is that a shard worker materializes
+only what it owns.  This bench proves it at the scale the sharded
+kernel targets — the 1024-host ``wan-ring`` (8 sites x 128 hosts) —
+by measuring the full single-kernel build against each shard's partial
+build at ``shards = 8``:
+
+* ``wall_s`` / ``rss_peak_bytes`` — construction time and the child
+  process's resident high-water mark.  Each build runs in a forked
+  child so one shard's footprint never pollutes the next measurement
+  (in-process fallback where ``fork`` is unavailable).
+* ``traced_peak_bytes`` — ``tracemalloc`` peak of the Python heap
+  during construction, measured for the full build and shard 0.  It is
+  allocator- and machine-independent, which makes it the committed
+  ceiling CI checks against; it is only sampled where needed because
+  tracing slows construction roughly an order of magnitude.
+
+Results land in ``BENCH_construction.json``.  ``--check`` re-measures
+shard 0's traced peak and fails if it blew past the committed ceiling,
+or if the committed shard/full ratio ever exceeds
+:data:`RATIO_CEILING` — the acceptance bar for memory-proportional
+construction.
+
+Run with ``python -m repro.bench --construction [--check]``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Callable, Optional
+
+__all__ = [
+    "CONSTRUCTION_BENCH_FILE", "RATIO_CEILING", "SCENARIO",
+    "run_construction_bench", "measure_build", "check_construction",
+    "render_construction", "load_construction", "write_construction",
+]
+
+CONSTRUCTION_BENCH_FILE = "BENCH_construction.json"
+
+#: acceptance bar: one shard of eight may use at most this fraction of
+#: the full build's construction memory
+RATIO_CEILING = 0.35
+
+#: the committed measurement scenario — scenarios/scale/wan_ring_1024.toml.
+#: ``metrics`` is off, as in the scenario: per-link meters blow the
+#: registry's 1024-label-set cardinality cap at this scale, and the
+#: bench measures the topology, not the telemetry.
+SCENARIO = {"topology": "wan-ring", "n_sites": 8, "hosts_per_site": 128,
+            "shards": 8, "seed": 1995, "metrics": False}
+
+
+def _build_once(bp, owned, traced: bool) -> dict:
+    import resource
+    import tracemalloc
+
+    from ..net.blueprint import materialize
+    if traced:
+        tracemalloc.start()
+    t0 = time.perf_counter()
+    cluster = materialize(bp, owned_switches=owned)
+    wall = time.perf_counter() - t0
+    peak = tracemalloc.get_traced_memory()[1] if traced else None
+    if traced:
+        tracemalloc.stop()
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    return {"wall_s": round(wall, 3), "traced_peak_bytes": peak,
+            "rss_peak_bytes": rss, "n_hosts": cluster.n_hosts}
+
+
+def _child_main(conn, bp, owned, traced: bool) -> None:
+    try:
+        conn.send(_build_once(bp, owned, traced))
+    except BaseException as exc:  # noqa: BLE001 - reported to parent
+        conn.send({"error": f"{type(exc).__name__}: {exc}"})
+    finally:
+        conn.close()
+
+
+def measure_build(bp, owned=None, traced: bool = False) -> dict:
+    """Build ``materialize(bp, owned)`` in a forked child and report
+    ``{wall_s, rss_peak_bytes, traced_peak_bytes, n_hosts}``.
+
+    The fork isolates ``ru_maxrss``: a resident high-water mark never
+    comes back down, so successive in-process builds would all report
+    the largest one.  Without ``fork`` the build runs in-process and
+    the RSS column degrades to that high-water semantics (the traced
+    peak stays exact).
+    """
+    if not hasattr(os, "fork"):
+        return _build_once(bp, owned, traced)
+    import multiprocessing
+    ctx = multiprocessing.get_context("fork")
+    parent, child = ctx.Pipe()
+    proc = ctx.Process(target=_child_main, args=(child, bp, owned, traced))
+    proc.start()
+    out = parent.recv()
+    proc.join()
+    parent.close()
+    if "error" in out:
+        raise RuntimeError(f"construction child failed: {out['error']}")
+    return out
+
+
+def _blueprint_and_plan(scenario: dict):
+    from ..net.blueprint import PlanView, blueprint_wan_ring
+    from ..sim.sharded import plan_shards
+    bp = blueprint_wan_ring(n_sites=scenario["n_sites"],
+                            hosts_per_site=scenario["hosts_per_site"],
+                            seed=scenario["seed"],
+                            metrics=scenario.get("metrics", True))
+    plan = plan_shards(PlanView(bp), scenario["shards"])
+    return bp, plan
+
+
+def _owned(plan, shard: int) -> set:
+    return {swn for swn, s in plan.switch_shard.items() if s == shard}
+
+
+def run_construction_bench(
+        scenario: Optional[dict] = None,
+        progress: Optional[Callable[[str], None]] = None) -> dict:
+    """Measure the full build and every shard's partial build.
+
+    Traced (tracemalloc) peaks are sampled for the full build and
+    shard 0 only — the two numbers the committed ceiling and the
+    acceptance ratio are made of; the other shards contribute wall and
+    RSS rows (they are symmetric in the ring by construction, which the
+    RSS column documents rather than assumes).
+    """
+    from .perf import _suite_meta
+    scenario = dict(SCENARIO, **(scenario or {}))
+    bp, plan = _blueprint_and_plan(scenario)
+
+    def note(what: str) -> None:
+        if progress is not None:
+            progress(what)
+
+    note("full build")
+    full = measure_build(bp, None, traced=False)
+    note("full build (traced)")
+    full["traced_peak_bytes"] = measure_build(
+        bp, None, traced=True)["traced_peak_bytes"]
+
+    per_shard = []
+    for shard in range(plan.n_shards):
+        note(f"shard {shard}/{plan.n_shards}")
+        row = measure_build(bp, _owned(plan, shard), traced=False)
+        if shard == 0:
+            note("shard 0 (traced)")
+            row["traced_peak_bytes"] = measure_build(
+                bp, _owned(plan, shard), traced=True)["traced_peak_bytes"]
+        row["shard"] = shard
+        row["owned_switches"] = sorted(_owned(plan, shard))
+        per_shard.append(row)
+
+    ratio = (per_shard[0]["traced_peak_bytes"]
+             / full["traced_peak_bytes"])
+    rss_ratio = (max(r["rss_peak_bytes"] for r in per_shard)
+                 / full["rss_peak_bytes"])
+    return {
+        "schema": 1,
+        "meta": _suite_meta(),
+        "scenario": scenario,
+        "full": full,
+        "per_shard": per_shard,
+        "shard0_traced_ratio": round(ratio, 4),
+        "max_shard_rss_ratio": round(rss_ratio, 4),
+        "ratio_ceiling": RATIO_CEILING,
+    }
+
+
+def write_construction(doc: dict, path) -> None:
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def load_construction(path) -> dict:
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != 1:
+        raise ValueError(f"{path}: unsupported schema {doc.get('schema')!r}")
+    return doc
+
+
+def check_construction(baseline: dict, tolerance: float = 0.25,
+                       fresh: Optional[dict] = None) -> list[str]:
+    """The RSS-ceiling smoke: is shard 0 still memory-proportional?
+
+    Re-measures shard 0's traced peak (cheap next to a full build) and
+    fails when it exceeds the committed peak by more than ``tolerance``,
+    or when the committed shard/full ratio itself breaks
+    :data:`RATIO_CEILING`.  ``fresh`` injects a pre-made measurement
+    (tests).
+    """
+    failures: list[str] = []
+    ratio = baseline.get("shard0_traced_ratio", float("inf"))
+    if ratio > RATIO_CEILING:
+        failures.append(
+            f"committed shard0/full construction-memory ratio {ratio:.2%} "
+            f"exceeds the {RATIO_CEILING:.0%} ceiling — partial "
+            f"construction is no longer memory-proportional")
+    if fresh is None:
+        bp, plan = _blueprint_and_plan(baseline["scenario"])
+        fresh = measure_build(bp, _owned(plan, 0), traced=True)
+    base_peak = baseline["per_shard"][0]["traced_peak_bytes"]
+    cur_peak = fresh["traced_peak_bytes"]
+    if cur_peak is not None and cur_peak > base_peak * (1.0 + tolerance):
+        failures.append(
+            f"shard 0 traced construction peak {cur_peak / 1e6:.1f} MB vs "
+            f"committed {base_peak / 1e6:.1f} MB "
+            f"(+{cur_peak / base_peak - 1.0:.0%}, tolerance "
+            f"{tolerance:.0%})")
+    return failures
+
+
+def render_construction(doc: dict) -> str:
+    s = doc["scenario"]
+    title = (f"blueprint construction — wan-ring "
+             f"{s['n_sites']}x{s['hosts_per_site']} "
+             f"({s['n_sites'] * s['hosts_per_site']} hosts), "
+             f"shards={s['shards']}")
+    lines = [title, "-" * len(title)]
+    full = doc["full"]
+    lines.append(
+        f"{'full build':<12} {full['wall_s']:>8.2f} s   "
+        f"rss {full['rss_peak_bytes'] / 1e6:>8.1f} MB   "
+        f"traced {full['traced_peak_bytes'] / 1e6:>8.1f} MB")
+    for row in doc["per_shard"]:
+        traced = (f"traced {row['traced_peak_bytes'] / 1e6:>8.1f} MB"
+                  if row.get("traced_peak_bytes") is not None else "")
+        lines.append(
+            f"{'shard ' + str(row['shard']):<12} {row['wall_s']:>8.2f} s   "
+            f"rss {row['rss_peak_bytes'] / 1e6:>8.1f} MB   {traced}")
+    lines.append(
+        f"shard0/full traced ratio {doc['shard0_traced_ratio']:.2%} "
+        f"(ceiling {doc['ratio_ceiling']:.0%}); max shard RSS ratio "
+        f"{doc['max_shard_rss_ratio']:.2%}")
+    return "\n".join(lines)

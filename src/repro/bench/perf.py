@@ -28,6 +28,7 @@ Run it with ``python -m repro.bench --perf [--check]``.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import Callable, Optional
@@ -216,7 +217,16 @@ def run_suite(benchmarks: dict[str, Callable[[], dict]],
                     f"benchmark {name} is non-deterministic: sim fields "
                     f"changed between repeats ({sim_fields!r} -> {fields!r})")
         results[name] = {"wall_s": round(best, 6), "sim": sim_fields}
-    return {"schema": SCHEMA_VERSION, "benchmarks": results}
+    return {"schema": SCHEMA_VERSION, "benchmarks": results,
+            "meta": _suite_meta()}
+
+
+def _suite_meta() -> dict:
+    """Host context stamped next to the walls: wall-clock numbers only
+    compare within one machine class, and sharded benchmarks depend on
+    whether workers fork or thread."""
+    from ..sim.sharded import DEFAULT_MODE
+    return {"cpu_count": os.cpu_count(), "sharded_transport": DEFAULT_MODE}
 
 
 def run_kernel_suite(progress=None) -> dict:

@@ -40,6 +40,56 @@ from .mps.transports import NcsTransport  # noqa: F401  (re-export surface)
 __all__ = ["NcsRuntime", "NcsNode"]
 
 
+class _GhostScheduler:
+    """Tid-mirroring scheduler for a ghost (non-materialized) node.
+
+    Under partial construction the foreign host's threads never run
+    here, but ``t_create`` must still hand out the same tids as the
+    owner shard's real :class:`MtsScheduler` (increment-then-return),
+    so drivers that create threads on every pid stay globally
+    tid-consistent.  The base is pre-advanced past the system threads a
+    real node would have created (see :class:`NcsRuntime`).
+    """
+
+    def __init__(self):
+        self._tid_seq = 0
+        self.threads: dict[int, Any] = {}
+
+    def t_create(self, fn, args=(), priority=DEFAULT_PRIORITY,
+                 name: str = "", is_system: bool = False) -> int:
+        self._tid_seq += 1
+        return self._tid_seq
+
+    def start(self):
+        raise RuntimeError(
+            "ghost node cannot start; a partially materialized cluster "
+            "only runs under the sharded kernel, which starts owned "
+            "schedulers only")
+
+
+class _GhostMps:
+    """Just enough MPS surface for cluster-wide bookkeeping calls
+    (barrier registration, lost-message checks) to ignore a ghost."""
+
+    def __init__(self, host):
+        self.host = host
+        self.barrier_parties: dict[int, int] = {}
+        self.lost_messages: list[Any] = []
+
+
+class _GhostNode:
+    """Placeholder node for a pid whose stack is a ghost row."""
+
+    ghost = True
+
+    def __init__(self, runtime: "NcsRuntime", pid: int):
+        self.runtime = runtime
+        self.pid = pid
+        self.scheduler = _GhostScheduler()
+        self.transport = None
+        self.mps = _GhostMps(runtime.cluster.stacks[pid].host)
+
+
 class NcsNode:
     """Everything NCS attaches to one OS process."""
 
@@ -100,7 +150,25 @@ class NcsRuntime:
         self._error_spec = error
         self._flow_kwargs = flow_kwargs or {}
         self._error_kwargs = error_kwargs or {}
-        self.nodes = [NcsNode(self, pid) for pid in range(cluster.n_hosts)]
+        self.nodes = [
+            _GhostNode(self, pid)
+            if getattr(cluster.stacks[pid], "ghost", False)
+            else NcsNode(self, pid)
+            for pid in range(cluster.n_hosts)]
+        ghosts = [n for n in self.nodes if getattr(n, "ghost", False)]
+        if ghosts:
+            if resilience is not None:
+                raise ValueError(
+                    "resilience requires every host to be materialized; "
+                    "partially constructed clusters cannot run the "
+                    "failure detector")
+            # mirror the system-thread tid burn-in of a real node, so
+            # subsequent t_create calls agree across shards
+            real = next((n for n in self.nodes
+                         if not getattr(n, "ghost", False)), None)
+            if real is not None:
+                for node in ghosts:
+                    node.scheduler._tid_seq = real.scheduler._tid_seq
         if resilience is not None:
             resilience.attach(self)
         self._started = False

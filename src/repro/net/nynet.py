@@ -28,6 +28,7 @@ from ..protocols import AtmIpAdapter, IpLayer, SocketLayer, TcpParams, TcpStack,
 from ..obs.registry import MetricsRegistry, NULL_REGISTRY
 from ..registry import TOPOLOGIES
 from ..sim import NullTracer, RngRegistry, Simulator, Tracer
+from .blueprint import blueprint_nynet, blueprint_wan_ring, materialize
 from .topology import Cluster, NodeStack
 
 __all__ = ["SiteSpec", "build_nynet", "build_nynet_from_spec",
@@ -63,60 +64,10 @@ def build_nynet(sites: list[SiteSpec],
     the two regional backbones (upstate OC-48 ring collapsed to one
     switch, downstate) connect through the DS-3 link.
     """
-    if not sites or all(s.n_hosts == 0 for s in sites):
-        raise ValueError("need at least one site with hosts")
-    if len({s.name for s in sites}) != len(sites):
-        raise ValueError("site names must be unique")
-    sim = Simulator(metrics=MetricsRegistry() if metrics else NULL_REGISTRY)
-    rngs = RngRegistry(seed)
-    tracer = Tracer(sim) if trace else NullTracer(sim)
-    fabric = AtmFabric(sim)
-
-    upstate_bb = fabric.add_switch(AtmSwitch(sim, "bb-upstate"))
-    downstate_bb = fabric.add_switch(AtmSwitch(sim, "bb-downstate"))
-    # the upstate-downstate DS-3 bottleneck
-    fabric.connect(upstate_bb, downstate_bb, DS3)
-
-    stacks: list[NodeStack] = []
-    pid = 0
-    for site in sites:
-        sw = fabric.add_switch(AtmSwitch(sim, f"sw-{site.name}"))
-        backbone = upstate_bb if site.region == "upstate" else downstate_bb
-        fabric.connect(sw, backbone, OC3)
-        for k in range(site.n_hosts):
-            name = f"{site.name}{k}"
-            host = Host(sim, name, cpu=params.cpu, os=params.os,
-                        tracer=tracer)
-            sba = Sba200Adapter(sim, name, train_cells=train_cells)
-            host.attach_interface("atm", sba)
-            fabric.add_adapter(sba)
-            rng = rngs.stream(f"link.{name}")
-            fabric.connect(sba, sw, TAXI_140, rng_a=rng, rng_b=rng)
-            atm_api = AtmApi(host)
-            ip_adapter = AtmIpAdapter(atm_api)
-            ip = IpLayer(sim, name, ip_adapter)
-            ip_adapter.bind(ip)
-            tcp = TcpStack(host, ip, tcp_params)
-            stacks.append(NodeStack(
-                host=host, process=OsProcess(host, pid=pid), ip=ip, tcp=tcp,
-                socket=SocketLayer(host, tcp), udp=UdpStack(host, ip),
-                atm_api=atm_api))
-            pid += 1
-
-    sig = SignalingController(fabric)
-    cluster = Cluster(sim=sim, rngs=rngs, tracer=tracer, stacks=stacks,
-                      medium="nynet", fabric=fabric, signaling=sig)
-    names = [s.host.name for s in stacks]
-    for i, src in enumerate(names):
-        for j, dst in enumerate(names):
-            if i != j:
-                vc = sig.create_pvc(src, dst)
-                stacks[i].ip.adapter.register_vc(dst, vc)
-                stacks[j].ip.adapter.add_rx_vc(vc)
-                cluster.hsm_vcs[(i, j)] = sig.create_pvc(src, dst)
-    if preconnect:
-        cluster.preestablish_tcp_mesh()
-    return cluster
+    return materialize(blueprint_nynet(
+        sites, params=params, tcp_params=tcp_params, seed=seed,
+        trace=trace, metrics=metrics, train_cells=train_cells,
+        preconnect=preconnect))
 
 
 @TOPOLOGIES.register(
@@ -137,22 +88,7 @@ def build_nynet_from_spec(sites: list, **kw) -> Cluster:
     """Spec-facing :func:`build_nynet`: ``sites`` as plain tables
     (``{name = ..., n_hosts = ..., region = ...}``) so a scenario file
     can declare the whole WAN."""
-    site_specs = []
-    for i, site in enumerate(sites):
-        if isinstance(site, SiteSpec):
-            site_specs.append(site)
-        elif isinstance(site, dict):
-            try:
-                site_specs.append(SiteSpec(**site))
-            except TypeError as e:
-                raise ValueError(
-                    f"cluster.options.sites[{i}]: {e}; expected keys "
-                    "name, n_hosts, region") from None
-        else:
-            raise ValueError(
-                f"cluster.options.sites[{i}]: expected a table, "
-                f"got {site!r}")
-    return build_nynet(site_specs, **kw)
+    return materialize(blueprint_nynet(sites, **kw))
 
 
 @TOPOLOGIES.register(
@@ -178,57 +114,7 @@ def build_wan_ring(n_sites: int = 8,
     is the conservative lookahead.  Hosts get the same dual stack
     (classical-IP PVC mesh + raw HSM PVC mesh) as every other topology.
     """
-    if n_sites < 1:
-        raise ValueError("n_sites must be >= 1")
-    if hosts_per_site < 1:
-        raise ValueError("hosts_per_site must be >= 1")
-    sim = Simulator(metrics=MetricsRegistry() if metrics else NULL_REGISTRY)
-    rngs = RngRegistry(seed)
-    tracer = Tracer(sim) if trace else NullTracer(sim)
-    fabric = AtmFabric(sim)
-
-    switches = [fabric.add_switch(AtmSwitch(sim, f"sw-r{i}"))
-                for i in range(n_sites)]
-    if n_sites == 2:            # a 2-ring would double the single trunk
-        fabric.connect(switches[0], switches[1], DS3)
-    elif n_sites > 2:
-        for i in range(n_sites):
-            fabric.connect(switches[i], switches[(i + 1) % n_sites], DS3)
-
-    stacks: list[NodeStack] = []
-    pid = 0
-    for i, sw in enumerate(switches):
-        for k in range(hosts_per_site):
-            name = f"r{i}h{k}"
-            host = Host(sim, name, cpu=params.cpu, os=params.os,
-                        tracer=tracer)
-            sba = Sba200Adapter(sim, name, train_cells=train_cells)
-            host.attach_interface("atm", sba)
-            fabric.add_adapter(sba)
-            rng = rngs.stream(f"link.{name}")
-            fabric.connect(sba, sw, TAXI_140, rng_a=rng, rng_b=rng)
-            atm_api = AtmApi(host)
-            ip_adapter = AtmIpAdapter(atm_api)
-            ip = IpLayer(sim, name, ip_adapter)
-            ip_adapter.bind(ip)
-            tcp = TcpStack(host, ip, tcp_params)
-            stacks.append(NodeStack(
-                host=host, process=OsProcess(host, pid=pid), ip=ip, tcp=tcp,
-                socket=SocketLayer(host, tcp), udp=UdpStack(host, ip),
-                atm_api=atm_api))
-            pid += 1
-
-    sig = SignalingController(fabric)
-    cluster = Cluster(sim=sim, rngs=rngs, tracer=tracer, stacks=stacks,
-                      medium="wan-ring", fabric=fabric, signaling=sig)
-    names = [s.host.name for s in stacks]
-    for i, src in enumerate(names):
-        for j, dst in enumerate(names):
-            if i != j:
-                vc = sig.create_pvc(src, dst)
-                stacks[i].ip.adapter.register_vc(dst, vc)
-                stacks[j].ip.adapter.add_rx_vc(vc)
-                cluster.hsm_vcs[(i, j)] = sig.create_pvc(src, dst)
-    if preconnect:
-        cluster.preestablish_tcp_mesh()
-    return cluster
+    return materialize(blueprint_wan_ring(
+        n_sites=n_sites, hosts_per_site=hosts_per_site, params=params,
+        tcp_params=tcp_params, seed=seed, trace=trace, metrics=metrics,
+        train_cells=train_cells, preconnect=preconnect))

@@ -10,6 +10,13 @@ Two build-outs mirror the paper's experimental environment (§2):
   (for NCS High Speed Mode).
 
 The NYNET wide-area testbed of Fig 1 is in :mod:`repro.net.nynet`.
+
+Since the blueprint refactor, the registered builders here are thin
+wrappers: each delegates to its declarative twin in
+:mod:`repro.net.blueprint` and materializes the result — the same
+two-phase path the sharded kernel uses for partial (per-shard)
+construction, held to byte identity against the old imperative bodies
+by the perf-lock and determinism goldens.
 """
 
 from __future__ import annotations
@@ -30,6 +37,9 @@ from ..protocols import (
 )
 from ..registry import TOPOLOGIES
 from ..sim import NullTracer, RngRegistry, Simulator, Tracer
+from .blueprint import (
+    blueprint_atm_dual, blueprint_atm_lan, blueprint_ethernet, materialize,
+)
 
 __all__ = ["NodeStack", "Cluster", "build_ethernet_cluster",
            "build_atm_cluster", "build_atm_dual_cluster"]
@@ -117,31 +127,10 @@ def build_ethernet_cluster(
         bandwidth_bps: float = 10e6,
         preconnect: bool = True) -> Cluster:
     """N workstations on one shared Ethernet segment."""
-    if n_hosts < 1:
-        raise ValueError("need at least one host")
-    sim = Simulator(metrics=MetricsRegistry() if metrics else NULL_REGISTRY)
-    rngs = RngRegistry(seed)
-    tracer = Tracer(sim) if trace else NullTracer(sim)
-    lan = EthernetLan(sim, bandwidth_bps=bandwidth_bps,
-                      collisions=collisions, rngs=rngs)
-    stacks = []
-    for i in range(n_hosts):
-        name = _host_name(i)
-        host = Host(sim, name, cpu=params.cpu, os=params.os, tracer=tracer)
-        nic = EthernetNic(sim, lan, name)
-        host.attach_interface("ethernet", nic)
-        adapter = EthernetIpAdapter(nic)
-        ip = IpLayer(sim, name, adapter)
-        adapter.bind(ip)
-        tcp = TcpStack(host, ip, tcp_params)
-        stacks.append(NodeStack(
-            host=host, process=OsProcess(host, pid=i), ip=ip, tcp=tcp,
-            socket=SocketLayer(host, tcp), udp=UdpStack(host, ip)))
-    cluster = Cluster(sim=sim, rngs=rngs, tracer=tracer, stacks=stacks,
-                      medium="ethernet", lan=lan)
-    if preconnect:
-        cluster.preestablish_tcp_mesh()
-    return cluster
+    return materialize(blueprint_ethernet(
+        n_hosts, params=params, tcp_params=tcp_params, seed=seed,
+        trace=trace, metrics=metrics, collisions=collisions,
+        bandwidth_bps=bandwidth_bps, preconnect=preconnect))
 
 
 @TOPOLOGIES.register(
@@ -158,51 +147,11 @@ def build_atm_cluster(
         train_cells: int = 256,
         preconnect: bool = True) -> Cluster:
     """N workstations star-wired to one FORE switch over TAXI links."""
-    if n_hosts < 1:
-        raise ValueError("need at least one host")
-    sim = Simulator(metrics=MetricsRegistry() if metrics else NULL_REGISTRY)
-    rngs = RngRegistry(seed)
-    tracer = Tracer(sim) if trace else NullTracer(sim)
-    fabric = AtmFabric(sim)
-    switch = fabric.add_switch(AtmSwitch(sim, "fore-sw",
-                                         switching_latency_s=switch_latency_s))
-    stacks = []
-    for i in range(n_hosts):
-        name = _host_name(i)
-        host = Host(sim, name, cpu=params.cpu, os=params.os, tracer=tracer)
-        sba = Sba200Adapter(sim, name, train_cells=train_cells)
-        host.attach_interface("atm", sba)
-        fabric.add_adapter(sba)
-        rng = rngs.stream(f"link.{name}")
-        fabric.connect(sba, switch, link_spec, rng_a=rng, rng_b=rng)
-        atm_api = AtmApi(host)
-        ip_adapter = AtmIpAdapter(atm_api)
-        ip = IpLayer(sim, name, ip_adapter)
-        ip_adapter.bind(ip)
-        tcp = TcpStack(host, ip, tcp_params)
-        stacks.append(NodeStack(
-            host=host, process=OsProcess(host, pid=i), ip=ip, tcp=tcp,
-            socket=SocketLayer(host, tcp), udp=UdpStack(host, ip),
-            atm_api=atm_api))
-    sig = SignalingController(fabric)
-    cluster = Cluster(sim=sim, rngs=rngs, tracer=tracer, stacks=stacks,
-                      medium="atm-lan", fabric=fabric, signaling=sig)
-    # classical-IP PVC mesh (TCP/p4/NSM) ...
-    for i in range(n_hosts):
-        for j in range(n_hosts):
-            if i != j:
-                vc = sig.create_pvc(_host_name(i), _host_name(j))
-                stacks[i].ip.adapter.register_vc(_host_name(j), vc)
-                stacks[j].ip.adapter.add_rx_vc(vc)
-    # ... and a separate raw PVC mesh for NCS HSM traffic
-    for i in range(n_hosts):
-        for j in range(n_hosts):
-            if i != j:
-                cluster.hsm_vcs[(i, j)] = sig.create_pvc(
-                    _host_name(i), _host_name(j))
-    if preconnect:
-        cluster.preestablish_tcp_mesh()
-    return cluster
+    return materialize(blueprint_atm_lan(
+        n_hosts, params=params, tcp_params=tcp_params, seed=seed,
+        trace=trace, metrics=metrics, link_spec=link_spec,
+        switch_latency_s=switch_latency_s, train_cells=train_cells,
+        preconnect=preconnect))
 
 
 @TOPOLOGIES.register(
@@ -233,46 +182,9 @@ def build_atm_dual_cluster(
     its Ethernet alongside the ATM gear for exactly this kind of
     fallback.)
     """
-    if n_hosts < 1:
-        raise ValueError("need at least one host")
-    sim = Simulator(metrics=MetricsRegistry() if metrics else NULL_REGISTRY)
-    rngs = RngRegistry(seed)
-    tracer = Tracer(sim) if trace else NullTracer(sim)
-    lan = EthernetLan(sim, bandwidth_bps=bandwidth_bps,
-                      collisions=collisions, rngs=rngs)
-    fabric = AtmFabric(sim)
-    switch = fabric.add_switch(AtmSwitch(sim, "fore-sw",
-                                         switching_latency_s=switch_latency_s))
-    stacks = []
-    for i in range(n_hosts):
-        name = _host_name(i)
-        host = Host(sim, name, cpu=params.cpu, os=params.os, tracer=tracer)
-        nic = EthernetNic(sim, lan, name)
-        host.attach_interface("ethernet", nic)
-        sba = Sba200Adapter(sim, name, train_cells=train_cells)
-        host.attach_interface("atm", sba)
-        fabric.add_adapter(sba)
-        rng = rngs.stream(f"link.{name}")
-        fabric.connect(sba, switch, link_spec, rng_a=rng, rng_b=rng)
-        atm_api = AtmApi(host)
-        eth_adapter = EthernetIpAdapter(nic)
-        ip = IpLayer(sim, name, eth_adapter)
-        eth_adapter.bind(ip)
-        tcp = TcpStack(host, ip, tcp_params)
-        stacks.append(NodeStack(
-            host=host, process=OsProcess(host, pid=i), ip=ip, tcp=tcp,
-            socket=SocketLayer(host, tcp), udp=UdpStack(host, ip),
-            atm_api=atm_api))
-    sig = SignalingController(fabric)
-    cluster = Cluster(sim=sim, rngs=rngs, tracer=tracer, stacks=stacks,
-                      medium="atm-dual", lan=lan, fabric=fabric,
-                      signaling=sig)
-    # the fabric carries only the raw HSM PVC mesh; IP rides the Ethernet
-    for i in range(n_hosts):
-        for j in range(n_hosts):
-            if i != j:
-                cluster.hsm_vcs[(i, j)] = sig.create_pvc(
-                    _host_name(i), _host_name(j))
-    if preconnect:
-        cluster.preestablish_tcp_mesh()
-    return cluster
+    return materialize(blueprint_atm_dual(
+        n_hosts, params=params, tcp_params=tcp_params, seed=seed,
+        trace=trace, metrics=metrics, link_spec=link_spec,
+        switch_latency_s=switch_latency_s, train_cells=train_cells,
+        bandwidth_bps=bandwidth_bps, collisions=collisions,
+        preconnect=preconnect))

@@ -21,7 +21,13 @@ plug point instead of an ``if/elif`` chain:
   NIC-offloaded barrier/bcast/reduce;
 * :data:`KERNELS` — simulation-kernel name -> scenario executor
   (``repro.config.build`` / ``repro.sim.sharded``): the ``single``
-  in-process event loop vs the ``sharded`` multi-worker kernel.
+  in-process event loop vs the ``sharded`` multi-worker kernel;
+* :data:`BLUEPRINTS` — topology name -> blueprint builder
+  (``repro.net.blueprint``): the declarative phase-1 description a
+  topology materializes from, enabling cost-model shard planning and
+  partial (per-shard) construction.  Topologies without a blueprint
+  still build imperatively; the sharded kernel then falls back to
+  replicated construction.
 
 Components register themselves at import time::
 
@@ -47,7 +53,7 @@ from typing import Any, Callable, Iterator, Optional
 __all__ = [
     "Registry", "UnknownNameError", "DuplicateNameError",
     "TRANSPORTS", "TOPOLOGIES", "FLOW_CONTROLS", "ERROR_CONTROLS",
-    "APP_DRIVERS", "FAULT_KINDS", "COLLECTIVES", "KERNELS",
+    "APP_DRIVERS", "FAULT_KINDS", "COLLECTIVES", "KERNELS", "BLUEPRINTS",
     "all_registries",
 ]
 
@@ -170,6 +176,10 @@ COLLECTIVES = Registry("collective strategy")
 #: kernel name -> scenario executor ``(spec) -> ScenarioResult``
 KERNELS = Registry("simulation kernel")
 
+#: topology name -> blueprint builder ``(**kwargs) -> TopologyBlueprint``
+#: (same signature as the matching :data:`TOPOLOGIES` entry)
+BLUEPRINTS = Registry("topology blueprint")
+
 
 def all_registries() -> dict[str, Registry]:
     """Every registry, keyed by a stable section name (``--list`` order).
@@ -187,4 +197,5 @@ def all_registries() -> dict[str, Registry]:
         "fault-kinds": FAULT_KINDS,
         "collectives": COLLECTIVES,
         "kernels": KERNELS,
+        "blueprints": BLUEPRINTS,
     }

@@ -164,6 +164,14 @@ def main(argv=None) -> int:
                              help="write/refresh the KPI baseline")
     args = parser.parse_args(argv)
 
+    if args.shards is not None and args.shards < 1:
+        from .registry import KERNELS
+        ensure_components()
+        parser.error(
+            f"--shards must be a positive shard count, got {args.shards}; "
+            f"use 1 for the single kernel or N > 1 for the sharded kernel "
+            f"(registered kernels: {', '.join(KERNELS.names())})")
+
     for mod in args.imports:
         importlib.import_module(mod)
 
@@ -203,8 +211,6 @@ def main(argv=None) -> int:
         if args.seed is not None:
             spec = spec.with_cluster(seed=args.seed)
         if args.shards is not None:
-            if args.shards < 1:
-                parser.error("--shards must be >= 1")
             spec = spec.replace(shards=args.shards)
         if args.print_spec:
             print(dumps_toml(spec.to_dict()), end="")

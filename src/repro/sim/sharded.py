@@ -8,11 +8,20 @@ lookahead.
 
 Design
 ------
-Every worker builds the **full** cluster from the same spec (identical
-seeds, tids, VC tables), but only its own shard's host schedulers ever
-start: ghost hosts are event-silent replicas that exist so signaling
-tables, fault timers and topology state match the single-kernel universe
-bit for bit.  The only coupling between workers is the set of *cut
+Construction is blueprint-partitioned: when the topology has a
+registered blueprint (:data:`repro.registry.BLUEPRINTS`) and the run
+carries no fault plan, resilience, or NIC collectives, each worker
+*materializes only its own shard* —
+``materialize(blueprint, owned_switches)`` builds real hosts and
+switches for owned sites, ghost rows (tid-mirroring, event-silent) for
+foreign hosts and boundary stubs for foreign switches at the cut, while
+replaying the global VC mesh so vc ids, VCIs and switch tables agree
+with every other universe bit for bit.  Worker memory and construction
+time then scale with the shard, not the cluster.  Runs outside that
+gate (or topologies without a blueprint) fall back to the PR 8
+*replicated* scheme: every worker builds the full cluster from the same
+spec and only its own shard's host schedulers start.  Either way the
+only coupling between workers is the set of *cut
 channels* — directed ATM trunk channels whose upstream node lives in one
 shard and whose downstream node lives in another.  On the upstream side
 the channel's :meth:`~repro.atm.link.Channel._dispatch` seam is
@@ -44,11 +53,13 @@ and drivers that aggregate cross-pid state locally (``collective``,
 from __future__ import annotations
 
 import json
+import logging
 import math
 import multiprocessing
 import os
 import queue as _queue
 import threading
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -60,10 +71,17 @@ from .kernel import Event, SimulationError
 from .trace import Activity, Interval, Timeline
 
 __all__ = [
-    "CutEvent", "ShardPlan", "plan_shards", "merge_key",
-    "merge_cut_events", "next_window", "run_scenario_sharded",
-    "MergedMetrics", "MergedTracer", "ShardedClusterView",
+    "CutEvent", "ShardPlan", "ShardFallbackWarning", "plan_shards",
+    "merge_key", "merge_cut_events", "next_window",
+    "run_scenario_sharded", "MergedMetrics", "MergedTracer",
+    "ShardedClusterView",
 ]
+
+logger = logging.getLogger(__name__)
+
+
+class ShardFallbackWarning(UserWarning):
+    """``runtime.shards > 1`` degraded to the single kernel."""
 
 #: worker execution mode when none is passed: real processes where
 #: ``fork`` exists (benchmarks want parallelism), threads elsewhere.
@@ -141,6 +159,8 @@ class ShardPlan:
     switch_shard: dict[str, int]
     channel_shard: dict[str, int]         # channel name -> upstream owner
     cut_dest: dict[str, int] = field(default_factory=dict)
+    shard_loads: list = field(default_factory=list)    # est. event weight
+    group_weights: dict = field(default_factory=dict)  # group key -> weight
 
     @property
     def cut_channels(self) -> list[str]:
@@ -155,15 +175,26 @@ def _node_label(node) -> str:
     return getattr(node, "host_name", None) or node.name
 
 
-def plan_shards(cluster, shards: int, shard_hints=None) -> ShardPlan:
+def plan_shards(cluster, shards: int, shard_hints=None,
+                pid_weights=None) -> ShardPlan:
     """Partition ``cluster`` into at most ``shards`` host-group shards.
 
     A *host group* is the set of hosts attached to the same switch
-    neighborhood; groups are assigned round-robin in min-pid order, or
-    pinned via ``shard_hints`` (switch name -> shard index).  Topologies
-    with a shared LAN medium or no ATM fabric collapse to one shard.
+    neighborhood.  Hinted groups (``shard_hints``: switch name -> shard
+    index) are pinned first; the rest are placed by the blueprint cost
+    model — heaviest group first onto the least-loaded shard (LPT),
+    where a group's weight is the sum of its pids' ``pid_weights``
+    (hosts x driver intensity; uniform 1.0 when None).  With uniform
+    weights and no hints this reduces exactly to round-robin in min-pid
+    order.  Topologies with a shared LAN medium or no ATM fabric
+    collapse to one shard.
+
+    ``cluster`` may be a real built :class:`~repro.net.topology.Cluster`
+    or a :class:`~repro.net.blueprint.PlanView` over an unmaterialized
+    blueprint — both produce the identical plan.
     """
     hints = dict(shard_hints or {})
+    weights = pid_weights or {}
     n = cluster.n_hosts
     host_names = [cluster.host(pid).name for pid in range(n)]
     fabric = getattr(cluster, "fabric", None)
@@ -181,7 +212,8 @@ def plan_shards(cluster, shards: int, shard_hints=None) -> ShardPlan:
             n_shards=1, lookahead=math.inf,
             pid_shard={pid: 0 for pid in range(n)},
             host_shard={h: 0 for h in host_names},
-            switch_shard=switch_shard, channel_shard=channel_shard)
+            switch_shard=switch_shard, channel_shard=channel_shard,
+            shard_loads=[sum(weights.get(pid, 1.0) for pid in range(n))])
 
     if shards <= 1 or fabric is None or getattr(cluster, "lan", None) is not None:
         return trivial()
@@ -209,10 +241,18 @@ def plan_shards(cluster, shards: int, shard_hints=None) -> ShardPlan:
                 f"{eff} effective shard(s) (runtime.shards = {shards}, "
                 f"{len(ordered)} host group(s))")
 
-    # ---- assign groups: hints pin, the rest round-robin in min-pid order
+    # ---- assign groups: hints pin theirs first (pre-loading the
+    # shards), then free groups go heaviest-first onto the least-loaded
+    # shard (LPT).  Uniform weights degrade to round-robin: free groups
+    # stay in min-pid order and each placement bumps one shard by the
+    # same amount, so the least-loaded lowest-index shard cycles
+    # 0, 1, ..., eff-1, 0, ...
+    group_weights = {key: sum(weights.get(pid, 1.0) for pid in pids)
+                     for key, pids in ordered}
     pid_shard: dict[int, int] = {}
     group_shard: list[tuple[tuple[str, ...], list[int], int]] = []
-    rr = 0
+    loads = [0.0] * eff
+    free: list[tuple[tuple[str, ...], list[int]]] = []
     for key, pids in ordered:
         hinted = sorted({hints[swn] for swn in key if swn in hints})
         if len(hinted) > 1:
@@ -221,9 +261,16 @@ def plan_shards(cluster, shards: int, shard_hints=None) -> ShardPlan:
                 f"hinted shards {hinted}")
         if hinted:
             s = hinted[0]
+            loads[s] += group_weights[key]
+            group_shard.append((key, pids, s))
+            for pid in pids:
+                pid_shard[pid] = s
         else:
-            s = rr % eff
-            rr += 1
+            free.append((key, pids))
+    for key, pids in sorted(free, key=lambda kv: (-group_weights[kv[0]],
+                                                  min(kv[1]))):
+        s = min(range(eff), key=lambda i: (loads[i], i))
+        loads[s] += group_weights[key]
         group_shard.append((key, pids, s))
         for pid in pids:
             pid_shard[pid] = s
@@ -306,7 +353,8 @@ def plan_shards(cluster, shards: int, shard_hints=None) -> ShardPlan:
     return ShardPlan(n_shards=eff, lookahead=lookahead,
                      pid_shard=pid_shard, host_shard=host_shard,
                      switch_shard=switch_shard, channel_shard=channel_shard,
-                     cut_dest=cut_dest)
+                     cut_dest=cut_dest, shard_loads=loads,
+                     group_weights=group_weights)
 
 
 # --------------------------------------------------------------------------
@@ -513,15 +561,79 @@ def _serialize_result(value, cluster) -> dict:
     }
 
 
+def _partial_eligible(spec: ScenarioSpec) -> bool:
+    """Whether this run may materialize only its own shard.
+
+    Partial construction is gated to runs whose extra machinery never
+    touches foreign entities: fault plans arm timers on every host,
+    resilience runs a cluster-wide failure detector, and NIC collectives
+    program multicast groups on foreign adapters — those replicate.
+    """
+    return (spec.faults is None and spec.resilience is None
+            and spec.collectives != "nic")
+
+
+def _blueprint_for(spec: ScenarioSpec):
+    """The spec topology's blueprint, or ``None`` to plan imperatively.
+
+    Mirrors ``build_cluster``'s kwarg forwarding exactly.  *Any* failure
+    (no registered blueprint, rejected options) returns ``None`` so the
+    imperative probe path keeps its original error semantics.
+    """
+    from ..registry import BLUEPRINTS
+    try:
+        builder = BLUEPRINTS.get(spec.cluster.topology)
+        kw = dict(spec.cluster.options)
+        if spec.cluster.n_hosts is not None:
+            kw["n_hosts"] = spec.cluster.n_hosts
+        kw["seed"] = spec.cluster.seed
+        kw["trace"] = spec.obs.trace
+        kw["metrics"] = spec.obs.metrics
+        return builder(**kw)
+    except Exception:
+        return None
+
+
+def _pid_weights(spec: ScenarioSpec, n_hosts: int):
+    """Blueprint cost model: estimated event weight per pid.
+
+    A site's weight is its hosts times driver intensity; point-to-point
+    drivers (``pingpong``, ``stream``) load only pids 0 and 1, so their
+    sites should not also absorb an equal share of bystander hosts.
+    Everything else drives all pids uniformly (``None`` = all 1.0).
+    """
+    driver = spec.app.driver if spec.app is not None else None
+    if driver in ("pingpong", "stream"):
+        return {pid: (1.0 if pid < 2 else 1 / 16) for pid in range(n_hosts)}
+    return None
+
+
 def _run_worker(spec: ScenarioSpec, shard_id: int, ctl) -> None:
-    """One shard worker: build the full universe, drive it by windows."""
+    """One shard worker: materialize the owned shard (or replicate the
+    full universe when the partial gate fails), drive it by windows."""
     try:
         driver = APP_DRIVERS.get(spec.app.driver)
         run = ScenarioRun(spec)
         state = _WorkerState(shard_id, ctl)
+        plan = None
+        bp = _blueprint_for(spec) if _partial_eligible(spec) else None
+        if bp is not None:
+            from ..net.blueprint import PlanView, materialize
+            bp_plan = plan_shards(
+                PlanView(bp), spec.shards, spec.shard_hints,
+                pid_weights=_pid_weights(spec, bp.n_hosts))
+            if bp_plan.n_shards > 1:
+                owned = {swn for swn, s in bp_plan.switch_shard.items()
+                         if s == shard_id}
+                # pre-seeding run.cluster routes the partial cluster
+                # through build_runtime's normal bring-up
+                run.cluster = materialize(bp, owned_switches=owned)
+                plan = bp_plan
         rt = run.runtime                    # cluster + faults + barriers
         cluster = run.cluster
-        plan = plan_shards(cluster, spec.shards, spec.shard_hints)
+        if plan is None:                    # replicated full universe
+            plan = plan_shards(cluster, spec.shards, spec.shard_hints,
+                               pid_weights=_pid_weights(spec, cluster.n_hosts))
         _patch_runtime(rt, cluster, plan, state)
         value = driver(run)
         if not state.ran:
@@ -683,28 +795,38 @@ def _merge_leaf(name: str, label_str: str, snaps: list[dict],
     elif name.startswith("faults."):
         owner = 0
     else:
-        vals = [s.get(name, {}).get(label_str) for s in snaps]
-        nums = [v for v in vals if isinstance(v, (int, float))]
-        if len(nums) == len(vals):
-            return max(nums)
+        # partial construction: only shards that materialized the
+        # entity publish the series, so merge over present values
+        vals = [s[name][label_str] for s in snaps
+                if label_str in s.get(name, {})]
+        if vals and all(isinstance(v, (int, float)) for v in vals):
+            return max(vals)
         owner = 0
-    base = snaps[0][name][label_str]
+    present = [s for s in snaps if label_str in s.get(name, {})]
+    base = present[0][name][label_str] if present else 0
     return snaps[owner].get(name, {}).get(label_str, base)
 
 
 def _merge_snapshots(snaps: list[dict], plan: ShardPlan) -> dict:
     """Rebuild the single-kernel metric snapshot from per-shard views.
 
-    Replicated construction guarantees every shard publishes the same
-    metric names and label sets; each series is taken wholesale from the
-    shard that owns its labeled entity.  Unlabeled ``sim.*`` meters are
-    summed (each worker counts its own calendar), ``faults.*`` come from
-    shard 0 (fault timers fire identically everywhere).
+    Each series is taken wholesale from the shard that owns its labeled
+    entity.  Under replicated construction every shard publishes every
+    series; under partial construction a shard only publishes what it
+    materialized, so the merged snapshot is the union across shards
+    (first-seen order — identical to shard 0's order when replicated).
+    Unlabeled ``sim.*`` meters are summed (each worker counts its own
+    calendar), ``faults.*`` come from shard 0 (fault timers fire
+    identically everywhere).
     """
     out: dict[str, dict[str, Any]] = {}
-    for name, series in snaps[0].items():
-        out[name] = {label_str: _merge_leaf(name, label_str, snaps, plan)
-                     for label_str in series}
+    for snap in snaps:
+        for name, series in snap.items():
+            dst = out.setdefault(name, {})
+            for label_str in series:
+                if label_str not in dst:
+                    dst[label_str] = _merge_leaf(name, label_str, snaps,
+                                                 plan)
     return out
 
 
@@ -871,6 +993,30 @@ def _launch_processes(spec: ScenarioSpec, n: int):
     return ctls, workers
 
 
+def _fallback_single(spec: ScenarioSpec, reason: str) -> ScenarioResult:
+    """Run the single kernel — loudly when ``shards > 1`` degrades.
+
+    The warning + ``kernel.shard_fallback`` counter make silent serial
+    execution of a supposedly parallel scenario visible in both the
+    console and the metric snapshot.
+    """
+    degraded = spec.shards > 1
+    if degraded:
+        warnings.warn(ShardFallbackWarning(
+            f"scenario {spec.name!r}: runtime.shards = {spec.shards} "
+            f"falls back to the single kernel: {reason}"), stacklevel=3)
+        logger.info("scenario %r: shard fallback: %s", spec.name, reason)
+    result = KERNELS.get("single")(spec)
+    if degraded:
+        metrics = getattr(result.cluster, "metrics", None)
+        if metrics is not None and hasattr(metrics, "counter"):
+            metrics.counter(
+                "kernel.shard_fallback",
+                help="sharded-kernel runs degraded to the single kernel",
+            ).inc()
+    return result
+
+
 @KERNELS.register(
     "sharded",
     help="conservative parallel kernel: one worker universe per host group")
@@ -882,7 +1028,14 @@ def run_scenario_sharded(spec: ScenarioSpec,
     ``"thread"`` (in-process workers, used by tests and platforms
     without ``fork``); default :data:`DEFAULT_MODE`.  When the plan
     collapses to one shard the registered ``single`` kernel runs
-    instead, bit-identically.
+    instead, bit-identically (with a :class:`ShardFallbackWarning` if
+    the spec asked for more).
+
+    Planning is blueprint-first: when the topology has a registered
+    blueprint the plan comes from a :class:`~repro.net.blueprint.
+    PlanView` over the declarative graph — no cluster is ever built in
+    the coordinator.  Topologies without one fall back to probing an
+    imperatively built cluster, exactly as before.
     """
     from ..config.build import ensure_components
     ensure_components()
@@ -891,17 +1044,37 @@ def run_scenario_sharded(spec: ScenarioSpec,
             f"scenario {spec.name!r} has no [app] table; nothing to run "
             "(specs without an app can still be built via build_runtime)")
     APP_DRIVERS.get(spec.app.driver)          # fail fast on unknown names
-    try:
-        probe = build_cluster(spec.cluster, spec.obs)
-    except SpecError:
-        # Self-contained drivers (the paper's table apps) build their
-        # own platform cluster and leave the spec's cluster table
-        # partial — there is nothing to partition, so the single kernel
-        # runs (and re-raises if the spec is genuinely broken).
-        return KERNELS.get("single")(spec)
-    plan = plan_shards(probe, spec.shards, spec.shard_hints)
+    bp = _blueprint_for(spec)
+    if bp is not None:
+        from ..net.blueprint import PlanView
+        n_hosts = bp.n_hosts
+        plan = plan_shards(PlanView(bp), spec.shards, spec.shard_hints,
+                           pid_weights=_pid_weights(spec, n_hosts))
+    else:
+        try:
+            probe = build_cluster(spec.cluster, spec.obs)
+        except SpecError:
+            # Self-contained drivers (the paper's table apps) build
+            # their own platform cluster and leave the spec's cluster
+            # table partial — there is nothing to partition, so the
+            # single kernel runs (and re-raises if the spec is
+            # genuinely broken).
+            return _fallback_single(
+                spec, "the spec's cluster table is partial "
+                "(self-contained drivers build their own cluster)")
+        n_hosts = probe.n_hosts
+        plan = plan_shards(probe, spec.shards, spec.shard_hints,
+                           pid_weights=_pid_weights(spec, n_hosts))
     if plan.n_shards <= 1:
-        return KERNELS.get("single")(spec)
+        return _fallback_single(
+            spec, "the topology collapses to one shard (a shared LAN "
+            "medium, no ATM fabric, or a single host group)")
+    partial = bp is not None and _partial_eligible(spec)
+    logger.info(
+        "scenario %r: %d shard(s), lookahead %.6gs, loads %s, %s "
+        "construction", spec.name, plan.n_shards, plan.lookahead,
+        [round(w, 3) for w in plan.shard_loads],
+        "partial" if partial else "replicated")
     mode = mode or DEFAULT_MODE
     if mode == "thread":
         ctls, workers = _launch_threads(spec, plan.n_shards)
@@ -923,10 +1096,17 @@ def run_scenario_sharded(spec: ScenarioSpec,
                 ctl.close()
     value = _merge_values([p["value"] for p in payloads])
     snapshot = _merge_snapshots([p["snapshot"] for p in payloads], plan)
+    # KPI-stamp the plan choice (behavior walls strip "kernel." names)
+    snapshot["kernel.shards"] = {"": plan.n_shards}
+    snapshot["kernel.partial_construction"] = {"": 1 if partial else 0}
+    if math.isfinite(plan.lookahead):
+        snapshot["kernel.lookahead_s"] = {"": plan.lookahead}
+    snapshot["kernel.shard_load"] = {
+        f"shard={s}": w for s, w in enumerate(plan.shard_loads)}
     timelines, events = _merge_traces([p["trace"] for p in payloads], plan)
     view = ShardedClusterView(tracer=MergedTracer(timelines, events),
                               metrics=MergedMetrics(snapshot),
-                              n_hosts=probe.n_hosts)
+                              n_hosts=n_hosts)
     result = ScenarioResult(spec, value, view, None)
     _export_obs(result)
     return result

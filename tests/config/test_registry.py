@@ -77,12 +77,15 @@ def test_stock_components_are_registered():
     assert set(APP_DRIVERS.names()) >= {
         "matmul-p4", "matmul-ncs", "jpeg-p4", "jpeg-ncs",
         "fft-p4", "fft-ncs", "pingpong", "ring", "alltoall", "stream"}
-    from repro.registry import KERNELS
+    from repro.registry import BLUEPRINTS, KERNELS
     assert set(KERNELS.names()) >= {"single", "sharded"}
+    assert set(BLUEPRINTS.names()) >= {
+        "ethernet", "atm-lan", "atm-dual", "nynet", "nynet-testbed",
+        "wan-ring"}
     regs = all_registries()
     assert set(regs) == {"transports", "topologies", "flow-controls",
                          "error-controls", "app-drivers", "fault-kinds",
-                         "collectives", "kernels"}
+                         "collectives", "kernels", "blueprints"}
 
 
 def test_third_party_transport_plugs_in():

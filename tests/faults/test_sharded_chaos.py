@@ -8,10 +8,13 @@ to retransmit *through* the cut must both behave byte-identically to
 the single kernel: same deaths, same reassignments, same rejoin, same
 retransmission schedule, same traces.
 
-Replicated construction is what makes this work: every shard universe
-arms the full fault plan at the same absolute instants, so message
-filters and link state agree everywhere; only event *execution* is
-partitioned.
+Replicated construction is what makes this work: a fault plan gates
+the workers off the blueprint-partitioned path, so every shard
+universe builds the full cluster and arms the full fault plan at the
+same absolute instants — message filters and link state agree
+everywhere; only event *execution* is partitioned
+(`kernel.partial_construction = 0`, see
+tests/sim/test_partitioned_construction.py).
 """
 
 from repro.config.build import run_scenario

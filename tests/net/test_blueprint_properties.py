@@ -1,0 +1,297 @@
+"""Blueprint equivalence and shard-coverage properties (ISSUE 9).
+
+Two families of guarantees over :mod:`repro.net.blueprint`:
+
+* **Equivalence** — for every registered topology,
+  ``materialize(blueprint)`` produces a cluster whose *construction
+  signature* (host rows, fabric graph, VC ids/VCIs, switch tables,
+  allocator state, IP wiring, TCP mesh, full metrics snapshot) is
+  identical to the verbatim pre-refactor builder kept in
+  :mod:`tests.net.reference_builders`.  Trace-level byte identity is
+  additionally gated by the perf-lock and sharded-determinism goldens.
+* **Coverage** — the union of per-shard partial materializations covers
+  every blueprint host and switch exactly once (ghosts and boundary
+  stubs excluded), and every materialized VC/switch-table entry agrees
+  with the full build's identity, for any shard count.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.blueprint import PlanView, _shadow_graph, materialize
+from repro.net.nynet import SiteSpec
+from repro.registry import BLUEPRINTS, TOPOLOGIES
+from repro.sim.sharded import plan_shards
+
+from .reference_builders import (
+    reference_atm_cluster, reference_atm_dual_cluster,
+    reference_ethernet_cluster, reference_nynet, reference_wan_ring,
+)
+
+SMALL = settings(deadline=None, max_examples=12)
+
+
+# --------------------------------------------------------------------------
+# the construction signature
+# --------------------------------------------------------------------------
+
+def _label(node) -> str:
+    return getattr(node, "host_name", None) or node.name
+
+
+def _channel_names(fabric) -> dict[int, str]:
+    names: dict[int, str] = {}
+    for _a, _b, data in fabric.graph.edges(data=True):
+        for ch in (data["link"].fwd, data["link"].rev):
+            names[id(ch)] = ch.name
+    return names
+
+
+def construction_signature(cluster) -> dict:
+    """Everything structurally observable about a built cluster."""
+    sig: dict = {
+        "medium": cluster.medium,
+        "hosts": [s.host.name for s in cluster.stacks],
+        "lan": cluster.lan is not None,
+        "tcp": [
+            sorted((c.remote, c.cid, c.established)
+                   for c in s.tcp.connections())
+            for s in cluster.stacks],
+        "metrics": cluster.metrics.snapshot(),
+    }
+    fabric = cluster.fabric
+    if fabric is not None:
+        ch_names = _channel_names(fabric)
+        sc = cluster.signaling
+        sig["graph_nodes"] = [_label(n) for n in fabric.graph.nodes]
+        sig["graph_edges"] = [
+            (d["link"].fwd.name, d["link"].fwd.spec.name, d["weight"])
+            for _a, _b, d in fabric.graph.edges(data=True)]
+        sig["vc_seq"] = sc._vc_seq
+        sig["open_vcs"] = {
+            vcid: (vc.src.host_name, vc.dst.host_name, vc.src_vci,
+                   tuple(vc.hop_vcis), tuple(ch.name for ch in vc.hops))
+            for vcid, vc in sc.open_vcs.items()}
+        sig["next_vci"] = sorted(
+            (ch_names[chid], nxt) for chid, nxt in sc._next_vci.items())
+        sig["switch_tables"] = {
+            name: sorted(
+                ((ch_names[cid], vci), (r.out_channel.name, r.out_vci))
+                for (cid, vci), r in sw._table.items())
+            for name, sw in fabric.switches.items()}
+        sig["hsm_vcs"] = {k: v.vc_id for k, v in cluster.hsm_vcs.items()}
+        sig["ip_vcs"] = [
+            sorted((dst, vc.vc_id) for dst, vc in
+                   getattr(s.ip.adapter, "_vcs", {}).items())
+            for s in cluster.stacks]
+    return sig
+
+
+def _bp_cluster(name: str, **kw):
+    return materialize(BLUEPRINTS.get(name)(**kw))
+
+
+# --------------------------------------------------------------------------
+# equivalence: materialize(blueprint) == pre-refactor builder
+# --------------------------------------------------------------------------
+
+def test_every_blueprint_has_a_topology_twin():
+    assert set(BLUEPRINTS.names()) <= set(TOPOLOGIES.names())
+
+
+@SMALL
+@given(n_hosts=st.integers(1, 5), preconnect=st.booleans(),
+       metrics=st.booleans())
+def test_ethernet_equivalence(n_hosts, preconnect, metrics):
+    ref = reference_ethernet_cluster(n_hosts, preconnect=preconnect,
+                                     metrics=metrics)
+    new = _bp_cluster("ethernet", n_hosts=n_hosts, preconnect=preconnect,
+                      metrics=metrics)
+    assert construction_signature(new) == construction_signature(ref)
+
+
+@SMALL
+@given(n_hosts=st.integers(1, 4), train_cells=st.sampled_from([64, 256]),
+       preconnect=st.booleans())
+def test_atm_lan_equivalence(n_hosts, train_cells, preconnect):
+    ref = reference_atm_cluster(n_hosts, train_cells=train_cells,
+                                preconnect=preconnect)
+    new = _bp_cluster("atm-lan", n_hosts=n_hosts, train_cells=train_cells,
+                      preconnect=preconnect)
+    assert construction_signature(new) == construction_signature(ref)
+
+
+@SMALL
+@given(n_hosts=st.integers(1, 4), preconnect=st.booleans())
+def test_atm_dual_equivalence(n_hosts, preconnect):
+    ref = reference_atm_dual_cluster(n_hosts, preconnect=preconnect)
+    new = _bp_cluster("atm-dual", n_hosts=n_hosts, preconnect=preconnect)
+    assert construction_signature(new) == construction_signature(ref)
+
+
+_SITES = st.lists(
+    st.tuples(st.integers(0, 2), st.sampled_from(["upstate", "downstate"])),
+    min_size=1, max_size=4,
+).filter(lambda rows: any(n for n, _ in rows)).map(
+    lambda rows: [SiteSpec(f"s{i}", n, region)
+                  for i, (n, region) in enumerate(rows)])
+
+
+@SMALL
+@given(sites=_SITES, preconnect=st.booleans())
+def test_nynet_equivalence(sites, preconnect):
+    ref = reference_nynet(sites, preconnect=preconnect)
+    new = _bp_cluster("nynet", sites=sites, preconnect=preconnect)
+    assert construction_signature(new) == construction_signature(ref)
+
+
+def test_nynet_testbed_equivalence():
+    ref = reference_nynet([SiteSpec("syr", 3, "upstate"),
+                           SiteSpec("nyc", 2, "downstate")])
+    new = _bp_cluster("nynet-testbed", n_upstate=3, n_downstate=2)
+    assert construction_signature(new) == construction_signature(ref)
+
+
+@SMALL
+@given(n_sites=st.integers(1, 5), hosts_per_site=st.integers(1, 2),
+       preconnect=st.booleans())
+def test_wan_ring_equivalence(n_sites, hosts_per_site, preconnect):
+    ref = reference_wan_ring(n_sites=n_sites, hosts_per_site=hosts_per_site,
+                             preconnect=preconnect)
+    new = _bp_cluster("wan-ring", n_sites=n_sites,
+                      hosts_per_site=hosts_per_site, preconnect=preconnect)
+    assert construction_signature(new) == construction_signature(ref)
+
+
+def test_blueprint_validation_errors_match():
+    import pytest
+    for name, kw, msg in [
+            ("ethernet", {"n_hosts": 0}, "need at least one host"),
+            ("atm-lan", {"n_hosts": 0}, "need at least one host"),
+            ("atm-dual", {"n_hosts": -1}, "need at least one host"),
+            ("wan-ring", {"n_sites": 0}, "n_sites must be >= 1"),
+            ("wan-ring", {"hosts_per_site": 0},
+             "hosts_per_site must be >= 1"),
+            ("nynet", {"sites": []}, "need at least one site with hosts"),
+            ("nynet", {"sites": [SiteSpec("a", 1), SiteSpec("a", 1)]},
+             "site names must be unique"),
+    ]:
+        with pytest.raises(ValueError, match=msg):
+            BLUEPRINTS.get(name)(**kw)
+        with pytest.raises(ValueError, match=msg):
+            TOPOLOGIES.get(name)(**kw)
+
+
+# --------------------------------------------------------------------------
+# shadow graph fidelity
+# --------------------------------------------------------------------------
+
+def _assert_shadow_paths_match(bp):
+    cluster = materialize(bp)
+    shadow = _shadow_graph(bp)
+    fabric = cluster.fabric
+    for src_name, src in fabric.adapters.items():
+        expected = nx.shortest_path(shadow, src_name, weight="weight")
+        for dst_name, dst in fabric.adapters.items():
+            if src_name == dst_name:
+                continue
+            real = [_label(n) for n in fabric.path_nodes(src, dst)]
+            assert real == expected[dst_name], (src_name, dst_name)
+
+
+def test_shadow_paths_match_wan_ring():
+    _assert_shadow_paths_match(
+        BLUEPRINTS.get("wan-ring")(n_sites=5, hosts_per_site=2))
+
+
+def test_shadow_paths_match_nynet():
+    _assert_shadow_paths_match(BLUEPRINTS.get("nynet-testbed")(
+        n_upstate=3, n_downstate=2))
+
+
+# --------------------------------------------------------------------------
+# shard coverage: union of partial materializations == the blueprint
+# --------------------------------------------------------------------------
+
+@SMALL
+@given(n_sites=st.integers(2, 5), hosts_per_site=st.integers(1, 2),
+       shards=st.integers(2, 4))
+def test_shard_union_covers_every_node_exactly_once(
+        n_sites, hosts_per_site, shards):
+    bp = BLUEPRINTS.get("wan-ring")(n_sites=n_sites,
+                                    hosts_per_site=hosts_per_site)
+    plan = plan_shards(PlanView(bp), shards)
+    seen_hosts: list[str] = []
+    seen_switches: list[str] = []
+    for shard in range(plan.n_shards):
+        owned = {swn for swn, s in plan.switch_shard.items() if s == shard}
+        part = materialize(bp, owned_switches=owned)
+        assert len(part.stacks) == bp.n_hosts       # pid-stable rows
+        real = [s for s in part.stacks if not getattr(s, "ghost", False)]
+        seen_hosts.extend(s.host.name for s in real)
+        seen_switches.extend(part.fabric.switches)   # stubs excluded
+    assert sorted(seen_hosts) == sorted(h.name for h in bp.hosts)
+    assert len(seen_hosts) == len(set(seen_hosts))
+    assert sorted(seen_switches) == sorted(s.name for s in bp.switches)
+    assert len(seen_switches) == len(set(seen_switches))
+
+
+@SMALL
+@given(n_sites=st.integers(2, 4), hosts_per_site=st.integers(1, 2),
+       shards=st.integers(2, 4))
+def test_partial_identities_match_full_build(n_sites, hosts_per_site,
+                                             shards):
+    """Every VC, VCI, allocator and switch-table entry a shard does
+    materialize is identical to the full build's."""
+    bp = BLUEPRINTS.get("wan-ring")(n_sites=n_sites,
+                                    hosts_per_site=hosts_per_site)
+    full = materialize(bp)
+    full_sig = construction_signature(full)
+    plan = plan_shards(PlanView(bp), shards)
+    for shard in range(plan.n_shards):
+        owned = {swn for swn, s in plan.switch_shard.items() if s == shard}
+        part = materialize(bp, owned_switches=owned)
+        assert part.signaling._vc_seq == full_sig["vc_seq"]
+        ch_names = _channel_names(part.fabric)
+        for vcid, vc in part.signaling.open_vcs.items():
+            ref = full_sig["open_vcs"][vcid]
+            if hasattr(vc, "src"):               # endpoint-relevant VC
+                assert (vc.src.host_name, vc.dst.host_name, vc.src_vci,
+                        tuple(vc.hop_vcis)) == ref[:4]
+        for name, sw in part.fabric.switches.items():
+            entries = sorted(
+                ((ch_names[cid], vci), (r.out_channel.name, r.out_vci))
+                for (cid, vci), r in sw._table.items())
+            assert entries == full_sig["switch_tables"][name]
+        next_vci = {ch_names[chid]: nxt
+                    for chid, nxt in part.signaling._next_vci.items()}
+        assert next_vci == dict(
+            (n, v) for n, v in full_sig["next_vci"] if n in next_vci)
+        for key, vc in part.hsm_vcs.items():
+            assert full_sig["hsm_vcs"][key] == vc.vc_id
+
+
+def test_plan_from_planview_matches_plan_from_cluster():
+    """Cost-model planning off the blueprint must agree with planning
+    off the fully materialized cluster."""
+    bp = BLUEPRINTS.get("wan-ring")(n_sites=6, hosts_per_site=2)
+    from_view = plan_shards(PlanView(bp), 3)
+    from_real = plan_shards(materialize(bp), 3)
+    assert from_view.n_shards == from_real.n_shards
+    assert from_view.pid_shard == from_real.pid_shard
+    assert from_view.switch_shard == from_real.switch_shard
+    assert from_view.channel_shard == from_real.channel_shard
+    assert from_view.lookahead == from_real.lookahead
+
+
+def test_partial_requires_pure_atm_rail():
+    import pytest
+    bp = BLUEPRINTS.get("atm-dual")(n_hosts=2)
+    with pytest.raises(ValueError, match="pure ATM-rail"):
+        materialize(bp, owned_switches={"fore-sw"})
+    bp = BLUEPRINTS.get("wan-ring")(n_sites=2, hosts_per_site=1)
+    with pytest.raises(ValueError, match="unknown switches"):
+        materialize(bp, owned_switches={"sw-r0", "nope"})

@@ -40,10 +40,17 @@ IMPLEMENTATION_METERS = ("sim.events_processed", "sim.processes_started")
 
 
 def behavior_snapshot(metrics) -> dict:
-    """A metric snapshot with the implementation meters stripped."""
+    """A metric snapshot with the implementation meters stripped.
+
+    ``kernel.*`` stamps (shard count, lookahead, plan loads, fallback
+    counter) describe which kernel ran and how it partitioned, not what
+    the model did, so they are implementation too.
+    """
     snap = metrics.snapshot()
     for name in IMPLEMENTATION_METERS:
         snap.pop(name, None)
+    for name in [n for n in snap if n.startswith("kernel.")]:
+        snap.pop(name)
     return snap
 
 

@@ -1,0 +1,146 @@
+"""Blueprint-partitioned construction under the sharded kernel.
+
+The tentpole contract: an eligible sharded run materializes only its
+own shard per worker (ghost rows + boundary stubs for the rest) and
+still produces results byte-identical to the single kernel — the
+determinism wall (test_sharded_determinism) locks the bytes, this file
+locks the *mechanism*: that partial construction actually engaged, that
+ineligible runs replicate, that ghost nodes mirror tids, that the cost
+model shapes the plan, and that degraded runs are loud.
+"""
+
+import pytest
+
+from repro.config import ensure_components
+from repro.config.spec import ScenarioSpec
+from repro.registry import KERNELS
+from repro.sim.sharded import (ShardFallbackWarning, _pid_weights,
+                               plan_shards)
+
+ensure_components()
+
+WAN_RING_DOC = {
+    "name": "wr-partial",
+    "cluster": {"topology": "wan-ring", "seed": 7,
+                "options": {"n_sites": 4, "hosts_per_site": 2}},
+    "runtime": {"mode": "hsm", "shards": 4, "kernel": "sharded"},
+    "app": {"driver": "alltoall", "params": {"payload_bytes": 512}},
+    "obs": {"metrics": True},
+}
+
+
+def _sharded(doc: dict):
+    spec = ScenarioSpec.from_dict(doc)
+    return KERNELS.get("sharded")(spec, mode="thread")
+
+
+def test_partial_construction_engages_on_wan_ring():
+    """An eligible wan-ring run reports partial construction and the
+    plan stamps (shard count, lookahead, per-shard loads)."""
+    result = _sharded(WAN_RING_DOC)
+    snap = result.cluster.metrics.snapshot()
+    assert snap["kernel.partial_construction"] == {"": 1}
+    assert snap["kernel.shards"] == {"": 4}
+    assert snap["kernel.lookahead_s"][""] == pytest.approx(0.002)
+    loads = snap["kernel.shard_load"]
+    assert set(loads) == {f"shard={s}" for s in range(4)}
+    assert all(w == pytest.approx(2.0) for w in loads.values())
+
+
+def test_faults_force_replicated_construction():
+    """A fault plan arms timers on every host, so the workers must
+    build the full universe — and say so in the stamp."""
+    doc = dict(WAN_RING_DOC, name="wr-replicated")
+    doc["runtime"] = dict(doc["runtime"], error="ack")
+    doc["faults"] = {"events": [{"kind": "link-outage", "at": 0.004,
+                                 "duration": 0.002, "host": 3}]}
+    result = _sharded(doc)
+    snap = result.cluster.metrics.snapshot()
+    assert snap["kernel.partial_construction"] == {"": 0}
+    assert snap["kernel.shards"] == {"": 4}
+
+
+def test_ghost_nodes_mirror_real_tid_allocation():
+    """t_create on a ghost pid hands out the tid the real node would,
+    so cross-shard tid-based identities agree; ghosts can never start."""
+    from repro.core.api import NcsRuntime
+    from repro.net.blueprint import blueprint_wan_ring, materialize
+
+    bp = blueprint_wan_ring(n_sites=2, hosts_per_site=2)
+    rt_full = NcsRuntime(materialize(bp), mode="hsm")
+    part = materialize(bp, owned_switches={"sw-r0"})
+    rt_part = NcsRuntime(part, mode="hsm")
+
+    def fn(_arg=None):
+        yield
+
+    for pid in range(bp.n_hosts):
+        assert rt_part.t_create(pid, fn) == rt_full.t_create(pid, fn)
+    foreign = next(pid for pid in range(bp.n_hosts)
+                   if getattr(part.stacks[pid], "ghost", False))
+    with pytest.raises(RuntimeError, match="ghost node cannot start"):
+        rt_part.nodes[foreign].scheduler.start()
+
+
+def test_resilience_rejects_partial_cluster():
+    from repro.core.api import NcsRuntime
+    from repro.net.blueprint import blueprint_wan_ring, materialize
+    from repro.resilience import ClusterResilience
+
+    bp = blueprint_wan_ring(n_sites=2, hosts_per_site=2)
+    part = materialize(bp, owned_switches={"sw-r0"})
+    with pytest.raises(ValueError, match="every host to be materialized"):
+        NcsRuntime(part, mode="hsm", resilience=ClusterResilience())
+
+
+def test_cost_model_isolates_point_to_point_hotspot():
+    """pingpong loads only pids 0/1: the cost model gives their site a
+    shard of its own and packs the bystander sites together, instead of
+    splitting them evenly."""
+    from repro.net.blueprint import PlanView, blueprint_wan_ring
+
+    spec = ScenarioSpec.from_dict({
+        "name": "wr-pingpong",
+        "cluster": {"topology": "wan-ring",
+                    "options": {"n_sites": 4, "hosts_per_site": 2}},
+        "app": {"driver": "pingpong"}})
+    bp = blueprint_wan_ring(n_sites=4, hosts_per_site=2)
+    weights = _pid_weights(spec, bp.n_hosts)
+    assert weights[0] == 1.0 and weights[2] < 1.0
+    plan = plan_shards(PlanView(bp), 2, pid_weights=weights)
+    assert plan.n_shards == 2
+    # the hot site (pids 0/1) sits alone; all three cold sites share
+    assert {plan.pid_shard[0], plan.pid_shard[1]} == {0}
+    assert {plan.pid_shard[p] for p in range(2, 8)} == {1}
+    assert plan.shard_loads[0] == pytest.approx(2.0)
+
+
+def test_trivial_plan_falls_back_loudly():
+    """atm-dual shares an Ethernet LAN, so the plan collapses: the run
+    must warn and count the degradation (satellite: shard fallback)."""
+    doc = {
+        "name": "dual-fallback",
+        "cluster": {"topology": "atm-dual", "n_hosts": 2},
+        "runtime": {"shards": 2, "kernel": "sharded"},
+        "app": {"driver": "pingpong"},
+        "obs": {"metrics": True},
+    }
+    spec = ScenarioSpec.from_dict(doc)
+    with pytest.warns(ShardFallbackWarning, match="falls back to the "
+                      "single kernel"):
+        result = KERNELS.get("sharded")(spec, mode="thread")
+    snap = result.cluster.metrics.snapshot()
+    assert snap["kernel.shard_fallback"] == {"": 1}
+
+
+def test_cli_rejects_nonpositive_shards(capsys):
+    """--shards 0 dies immediately with the kernel options spelled out
+    (satellite: CLI validation)."""
+    from repro.run import main
+
+    with pytest.raises(SystemExit) as exc:
+        main(["--shards", "0", "nonexistent.toml"])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "positive shard count" in err
+    assert "single" in err and "sharded" in err
