@@ -25,7 +25,7 @@ touching this package.
 
 from .spec import (
     AppSpec, ClusterSpec, FaultSpec, ObsSpec, ResilienceSpec, ScenarioSpec,
-    SpecError,
+    SpecError, SupervisionSpec,
 )
 from .io import (
     dump_scenario, dumps_json, dumps_toml, load_scenario, loads_scenario,
@@ -38,7 +38,7 @@ from .build import (
 
 __all__ = [
     "AppSpec", "ClusterSpec", "FaultSpec", "ObsSpec", "ResilienceSpec",
-    "ScenarioSpec", "SpecError",
+    "ScenarioSpec", "SpecError", "SupervisionSpec",
     "dump_scenario", "dumps_json", "dumps_toml", "load_scenario",
     "loads_scenario",
     "FleetSpec", "MatrixAxis", "MatrixSpec", "load_fleet",

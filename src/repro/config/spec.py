@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
 
 __all__ = ["SpecError", "ClusterSpec", "AppSpec", "FaultSpec", "ObsSpec",
-           "ResilienceSpec", "ScenarioSpec"]
+           "ResilienceSpec", "SupervisionSpec", "ScenarioSpec"]
 
 
 class SpecError(ValueError):
@@ -315,6 +315,100 @@ class ResilienceSpec:
 
 
 # ---------------------------------------------------------------------------
+# SupervisionSpec
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SupervisionSpec:
+    """Watchdog deadlines and recovery policy for the sharded kernel.
+
+    The sharded kernel's coordinator never waits unboundedly on a shard
+    worker: every control-queue operation in the window protocol is
+    bounded by ``barrier_deadline_s`` of *wall-clock* time (simulated
+    time is irrelevant here — a hung worker makes no simulated
+    progress at all), and worker liveness is polled every
+    ``liveness_poll_s`` while waiting, so a crashed worker is detected
+    long before the barrier deadline expires.  ``worker_grace_s``
+    bounds teardown: how long an aborted worker gets to acknowledge
+    and join before it is terminated (processes) or reported as leaked
+    (threads cannot be killed).
+
+    ``policy`` is the recovery ladder applied after all workers are
+    torn down:
+
+    * ``"retry"`` — relaunch the sharded run up to ``max_retries``
+      times (transient fork/OOM flakes), then re-raise;
+    * ``"fallback"`` — degrade immediately to the single kernel, which
+      is byte-identical by the determinism walls;
+    * ``"retry-then-fallback"`` (default) — retry first, degrade if
+      the retry fails too;
+    * ``"raise"`` — no recovery: surface the structured
+      :class:`~repro.sim.sharded.ShardWorkerError` to the caller.
+
+    Wall-clock deadlines never feed back into the simulation, so
+    supervision cannot perturb results — it only decides when to stop
+    waiting for a worker that will never answer.
+    """
+
+    POLICIES = ("retry", "fallback", "retry-then-fallback", "raise")
+
+    barrier_deadline_s: float = 60.0
+    worker_grace_s: float = 5.0
+    liveness_poll_s: float = 0.05
+    policy: str = "retry-then-fallback"
+    max_retries: int = 1
+
+    _DEFAULTS = {"barrier_deadline_s": 60.0, "worker_grace_s": 5.0,
+                 "liveness_poll_s": 0.05, "policy": "retry-then-fallback",
+                 "max_retries": 1}
+
+    def __post_init__(self) -> None:
+        for name in ("barrier_deadline_s", "worker_grace_s",
+                     "liveness_poll_s"):
+            v = getattr(self, name)
+            if not isinstance(v, (int, float)) or v <= 0:
+                raise _err(f"supervision.{name}",
+                           f"must be a positive number of wall-clock "
+                           f"seconds (got {v!r})")
+        if self.liveness_poll_s > self.barrier_deadline_s:
+            raise _err("supervision.liveness_poll_s",
+                       f"must not exceed barrier_deadline_s (got "
+                       f"{self.liveness_poll_s!r} > "
+                       f"{self.barrier_deadline_s!r})")
+        if self.policy not in self.POLICIES:
+            raise _err("supervision.policy",
+                       f"must be one of {', '.join(self.POLICIES)} "
+                       f"(got {self.policy!r})")
+        if not isinstance(self.max_retries, int) or self.max_retries < 0:
+            raise _err("supervision.max_retries",
+                       f"must be a non-negative integer (got "
+                       f"{self.max_retries!r})")
+
+    @property
+    def retries_allowed(self) -> int:
+        """Sharded relaunches the policy permits (0 when not retrying)."""
+        if self.policy in ("retry", "retry-then-fallback"):
+            return self.max_retries
+        return 0
+
+    @property
+    def falls_back(self) -> bool:
+        """Whether the ladder ends in single-kernel degradation."""
+        return self.policy in ("fallback", "retry-then-fallback")
+
+    def to_dict(self) -> dict:
+        d = _prune(dataclasses.asdict(self), self._DEFAULTS)
+        return {k: d[k] for k in sorted(d)}
+
+    @classmethod
+    def from_dict(cls, raw: Mapping) -> "SupervisionSpec":
+        _check_table(raw, "runtime.supervision",
+                     ("barrier_deadline_s", "worker_grace_s",
+                      "liveness_poll_s", "policy", "max_retries"))
+        return cls(**dict(raw))
+
+
+# ---------------------------------------------------------------------------
 # ObsSpec
 # ---------------------------------------------------------------------------
 
@@ -382,7 +476,10 @@ class ScenarioSpec:
     sharded kernel and sets its worker count, and ``shard_hints`` pins
     named host groups (a host's directly-attached switch, e.g.
     ``"sw-syr"``) to explicit shard indices instead of the default
-    round-robin assignment.
+    round-robin assignment.  ``supervision`` (a ``[runtime.supervision]``
+    table) bounds every coordinator wait with wall-clock deadlines and
+    selects the recovery policy applied when a shard worker crashes or
+    hangs (:class:`SupervisionSpec`); it is inert on the single kernel.
     """
 
     name: str
@@ -398,6 +495,7 @@ class ScenarioSpec:
     kernel: str = "single"
     shards: int = 1
     shard_hints: dict = field(default_factory=dict)
+    supervision: SupervisionSpec = field(default_factory=SupervisionSpec)
     app: Optional[AppSpec] = None
     faults: Optional[FaultSpec] = None
     resilience: Optional[ResilienceSpec] = None
@@ -408,7 +506,9 @@ class ScenarioSpec:
         # so Python callers can write app={"driver": ...} inline
         for attr, spec_cls in (("cluster", ClusterSpec), ("app", AppSpec),
                                ("faults", FaultSpec),
-                               ("resilience", ResilienceSpec), ("obs", ObsSpec)):
+                               ("resilience", ResilienceSpec),
+                               ("supervision", SupervisionSpec),
+                               ("obs", ObsSpec)):
             value = getattr(self, attr)
             if isinstance(value, Mapping):
                 object.__setattr__(self, attr, spec_cls.from_dict(value))
@@ -496,6 +596,9 @@ class ScenarioSpec:
             runtime["shards"] = self.shards
         if self.shard_hints:
             runtime["shard_hints"] = dict(sorted(self.shard_hints.items()))
+        supervision = self.supervision.to_dict()
+        if supervision:
+            runtime["supervision"] = supervision
         if runtime:
             doc["runtime"] = runtime
         if self.app is not None:
@@ -523,7 +626,7 @@ class ScenarioSpec:
         _check_table(runtime, "runtime",
                      ("mode", "flow", "flow_kwargs", "error", "error_kwargs",
                       "collectives", "barriers", "kernel", "shards",
-                      "shard_hints"))
+                      "shard_hints", "supervision"))
         kw: dict[str, Any] = {
             "name": raw["name"],
             "description": raw.get("description", ""),
@@ -538,6 +641,9 @@ class ScenarioSpec:
             "shards": runtime.get("shards", 1),
             "shard_hints": runtime.get("shard_hints", {}),
         }
+        if "supervision" in runtime:
+            kw["supervision"] = SupervisionSpec.from_dict(
+                runtime["supervision"])
         if "cluster" in raw:
             kw["cluster"] = ClusterSpec.from_dict(raw["cluster"])
         if "app" in raw:

@@ -22,11 +22,12 @@ service modes.
 from .injector import FaultInjector, trace_signature
 from .plan import (
     BerSpike, FaultEvent, FaultPlan, HostCrash, LinkOutage, MessageLoss,
-    Partition, SwitchPortStall,
+    Partition, SwitchPortStall, WorkerCrash, WorkerFault, WorkerStall,
 )
 
 __all__ = [
     "FaultInjector", "trace_signature",
     "BerSpike", "FaultEvent", "FaultPlan", "HostCrash", "LinkOutage",
     "MessageLoss", "Partition", "SwitchPortStall",
+    "WorkerCrash", "WorkerFault", "WorkerStall",
 ]

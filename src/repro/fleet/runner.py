@@ -13,12 +13,21 @@ order, ``jobs=1`` and ``jobs=N`` produce byte-identical KPI documents
 A failing run (driver exception, spec/build error) never takes the
 fleet down: its row becomes an ``{"error": ...}`` marker that renders
 in the table, fails a ``--check``, and leaves every other run's KPIs
-intact.
+intact.  Two supervision knobs harden long fleets further: a per-run
+wall-clock ``timeout_s`` (enforced inside the worker with a SIGALRM
+deadline, so a wedged scenario cannot stall its pool slot forever) and
+bounded ``retries`` with exponential backoff for transient failures.
+The attempt count lands in every retried run's ``metrics.json``
+(``fleet.attempts``) and KPI row (``attempts``, only when > 1 so
+single-attempt fleets keep their byte-identical documents).
 """
 
 from __future__ import annotations
 
 import json
+import signal
+import threading
+import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -28,7 +37,11 @@ from typing import Any, Callable, Optional
 from ..config.fleet import FleetSpec
 from .kpis import kpi_doc
 
-__all__ = ["RunOutcome", "FleetResult", "run_fleet"]
+__all__ = ["RunOutcome", "FleetResult", "RunTimeout", "run_fleet"]
+
+
+class RunTimeout(Exception):
+    """One scenario attempt exceeded the fleet's per-run deadline."""
 
 
 @dataclass(frozen=True)
@@ -40,9 +53,13 @@ class RunOutcome:
     row: Optional[dict] = None          # KpiRow.to_dict() when ok
     error: Optional[str] = None
     artifacts: tuple = ()
+    attempts: int = 1                   # launches it took (1 = no retry)
 
     def doc_row(self) -> dict:
-        return dict(self.row) if self.ok else {"error": self.error}
+        row = dict(self.row) if self.ok else {"error": self.error}
+        if self.attempts > 1:
+            row["attempts"] = self.attempts
+        return row
 
 
 @dataclass
@@ -71,55 +88,114 @@ def _run_dir_name(run_id: str) -> str:
     return run_id.replace("/", "_")
 
 
-def _execute_one(run_id: str, doc_json: str,
-                 artifacts_dir: Optional[str]) -> dict:
+class _deadline:
+    """A SIGALRM-backed wall-clock deadline around one run attempt.
+
+    Arms only where it can: SIGALRM exists (POSIX) and we are on the
+    process's main thread (signal handlers cannot be installed
+    elsewhere) — both hold for pool workers and the ``jobs=1`` inline
+    path.  Anywhere else the deadline degrades to a no-op rather than
+    failing the run.
+    """
+
+    def __init__(self, timeout_s: Optional[float]):
+        self.timeout_s = timeout_s
+        self.armed = False
+
+    def __enter__(self):
+        if (self.timeout_s is not None and hasattr(signal, "setitimer")
+                and threading.current_thread() is threading.main_thread()):
+            def _expire(signum, frame):
+                raise RunTimeout(
+                    f"run exceeded the {self.timeout_s:g}s per-run "
+                    "wall-clock timeout")
+            self._prev = signal.signal(signal.SIGALRM, _expire)
+            signal.setitimer(signal.ITIMER_REAL, self.timeout_s)
+            self.armed = True
+        return self
+
+    def __exit__(self, *exc):
+        if self.armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._prev)
+        return False
+
+
+def _attempt_one(run_id: str, doc_json: str, artifacts_dir: Optional[str],
+                 timeout_s: Optional[float], attempts: int) -> dict:
+    """One attempt at one scenario; raises on failure (caller retries)."""
+    from ..config import ScenarioSpec, ensure_components, run_scenario
+    from .kpis import extract_kpis
+    ensure_components()
+    spec = ScenarioSpec.from_dict(json.loads(doc_json))
+    with _deadline(timeout_s):
+        result = run_scenario(spec)
+    snapshot = (result.cluster.metrics.snapshot()
+                if result.cluster is not None else {})
+    row = extract_kpis(spec, snapshot, result.summary())
+    artifacts = list(result.exported)
+    if artifacts_dir is not None:
+        run_dir = Path(artifacts_dir) / _run_dir_name(run_id)
+        run_dir.mkdir(parents=True, exist_ok=True)
+        if attempts > 1:
+            # the attempt count is runner telemetry, not simulated
+            # behaviour: single-attempt runs omit it so their
+            # metrics.json stays byte-identical
+            snapshot = dict(snapshot)
+            snapshot["fleet.attempts"] = {"": attempts}
+        metrics_path = run_dir / "metrics.json"
+        metrics_path.write_text(
+            json.dumps(snapshot, indent=1, sort_keys=True) + "\n")
+        artifacts.append(str(metrics_path))
+        if spec.obs.trace and result.cluster is not None:
+            from ..obs import export_chrome_trace
+            trace_path = run_dir / "trace.json"
+            export_chrome_trace(result.cluster.tracer, trace_path,
+                                metrics=result.cluster.metrics)
+            artifacts.append(str(trace_path))
+    return {"run_id": run_id, "ok": True, "row": row.to_dict(),
+            "artifacts": artifacts, "attempts": attempts}
+
+
+def _execute_one(run_id: str, doc_json: str, artifacts_dir: Optional[str],
+                 timeout_s: Optional[float] = None, retries: int = 0,
+                 backoff_s: float = 0.5) -> dict:
     """One worker task; module-level so it pickles into pool workers.
 
     Returns a plain dict (not RunOutcome) to keep the pool protocol to
     stdlib types.  Never raises: any failure is folded into the result.
+    Each attempt gets a fresh deadline; failed attempts back off
+    exponentially (``backoff_s * 2**attempt``) before relaunching, up
+    to ``retries`` relaunches.
     """
-    from ..config import ScenarioSpec, ensure_components, run_scenario
-    from .kpis import extract_kpis
-    try:
-        ensure_components()
-        spec = ScenarioSpec.from_dict(json.loads(doc_json))
-        result = run_scenario(spec)
-        snapshot = (result.cluster.metrics.snapshot()
-                    if result.cluster is not None else {})
-        row = extract_kpis(spec, snapshot, result.summary())
-        artifacts = list(result.exported)
-        if artifacts_dir is not None:
-            run_dir = Path(artifacts_dir) / _run_dir_name(run_id)
-            run_dir.mkdir(parents=True, exist_ok=True)
-            metrics_path = run_dir / "metrics.json"
-            metrics_path.write_text(
-                json.dumps(snapshot, indent=1, sort_keys=True) + "\n")
-            artifacts.append(str(metrics_path))
-            if spec.obs.trace and result.cluster is not None:
-                from ..obs import export_chrome_trace
-                trace_path = run_dir / "trace.json"
-                export_chrome_trace(result.cluster.tracer, trace_path,
-                                    metrics=result.cluster.metrics)
-                artifacts.append(str(trace_path))
-        return {"run_id": run_id, "ok": True, "row": row.to_dict(),
-                "artifacts": artifacts}
-    except Exception as e:                      # noqa: BLE001 — fleet runs
-        # must survive any one scenario failing, whatever the cause
-        return {"run_id": run_id, "ok": False,
-                "error": f"{type(e).__name__}: {e}",
-                "trace": traceback.format_exc()}
+    last: dict = {}
+    for attempt in range(retries + 1):
+        try:
+            return _attempt_one(run_id, doc_json, artifacts_dir,
+                                timeout_s, attempts=attempt + 1)
+        except Exception as e:                  # noqa: BLE001 — fleet runs
+            # must survive any one scenario failing, whatever the cause
+            last = {"run_id": run_id, "ok": False,
+                    "error": f"{type(e).__name__}: {e}",
+                    "trace": traceback.format_exc(),
+                    "attempts": attempt + 1}
+            if attempt < retries:
+                time.sleep(backoff_s * (2 ** attempt))
+    return last
 
 
 def _to_outcome(raw: dict) -> RunOutcome:
     return RunOutcome(run_id=raw["run_id"], ok=raw["ok"],
                       row=raw.get("row"), error=raw.get("error"),
-                      artifacts=tuple(raw.get("artifacts", ())))
+                      artifacts=tuple(raw.get("artifacts", ())),
+                      attempts=raw.get("attempts", 1))
 
 
 def run_fleet(fleet: FleetSpec, jobs: int = 1,
               results_dir: Optional[str | Path] = None,
               progress: Optional[Callable[[RunOutcome], Any]] = None,
-              ) -> FleetResult:
+              timeout_s: Optional[float] = None, retries: int = 0,
+              backoff_s: float = 0.5) -> FleetResult:
     """Run every scenario in ``fleet``; outcomes keep fleet order.
 
     ``jobs=1`` runs inline (no pool, easiest to debug); ``jobs>1``
@@ -127,14 +203,23 @@ def run_fleet(fleet: FleetSpec, jobs: int = 1,
     ``results_dir`` enables per-run artifacts (``<dir>/<run_id>/
     metrics.json`` plus ``trace.json`` for tracing scenarios).
     ``progress`` is called with each :class:`RunOutcome` as it lands,
-    in fleet order.
+    in fleet order.  ``timeout_s`` bounds each run attempt's wall
+    clock; ``retries`` relaunches a failed run up to that many times
+    with exponential ``backoff_s`` between attempts.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1 (got {jobs})")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError(f"timeout_s must be positive (got {timeout_s})")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0 (got {retries})")
+    if backoff_s < 0:
+        raise ValueError(f"backoff_s must be >= 0 (got {backoff_s})")
     if results_dir is not None:
         results_dir = str(Path(results_dir))
         Path(results_dir).mkdir(parents=True, exist_ok=True)
-    tasks = [(run_id, spec.canonical_json(), results_dir)
+    tasks = [(run_id, spec.canonical_json(), results_dir,
+              timeout_s, retries, backoff_s)
              for run_id, spec in fleet.runs]
     result = FleetResult(fleet=fleet.name)
     if jobs == 1 or len(tasks) == 1:

@@ -38,8 +38,9 @@ import importlib
 import json
 import sys
 
-from .config import (SpecError, dump_scenario, dumps_toml, load_fleet,
-                     load_scenario, run_scenario, ensure_components)
+from .config import (SpecError, SupervisionSpec, dump_scenario, dumps_toml,
+                     load_fleet, load_scenario, run_scenario,
+                     ensure_components)
 from .diagnostics import RESILIENCE_COUNTERS, render_report
 from .registry import UnknownNameError, all_registries
 
@@ -68,6 +69,15 @@ def _summarize(result) -> str:
         metrics = result.cluster.metrics
         for name in RESILIENCE_COUNTERS:
             rows.append(f"  {name:<32} {metrics.total(name):g}")
+    # a sharded run that recovered from a worker failure says so
+    if result.cluster is not None:
+        from .obs import RECOVERY_COUNTERS
+        metrics = result.cluster.metrics
+        snap = metrics.snapshot() if hasattr(metrics, "snapshot") else {}
+        for name in RECOVERY_COUNTERS:
+            for label, count in sorted(snap.get(name, {}).items()):
+                tag = f"{name}{{{label}}}" if label else name
+                rows.append(f"  {tag:<48} {count:g}")
     rows += [f"  exported         {p}" for p in result.exported]
     return "\n".join([head] + rows)
 
@@ -91,7 +101,8 @@ def _run_fleet_cli(args) -> int:
     print(f"fleet {fleet.name!r}: {len(fleet.runs)} run(s), "
           f"jobs={args.jobs}")
     result = run_fleet(fleet, jobs=args.jobs, results_dir=args.results,
-                       progress=progress)
+                       progress=progress, timeout_s=args.timeout,
+                       retries=args.retries, backoff_s=args.backoff)
     doc = result.kpi_doc()
     print(render_table(result.rows()))
     write_kpi_doc(doc, f"{args.results}/KPIS_{fleet.name}.json")
@@ -140,6 +151,16 @@ def main(argv=None) -> int:
                              "simulation across worker kernels (selects the "
                              "'sharded' kernel; results are bit-identical "
                              "to the single kernel)")
+    parser.add_argument("--barrier-deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="override runtime.supervision."
+                             "barrier_deadline_s: the wall-clock budget "
+                             "for each sharded-kernel window barrier")
+    parser.add_argument("--recovery-policy", default=None,
+                        choices=SupervisionSpec.POLICIES,
+                        help="override runtime.supervision.policy: how the "
+                             "sharded kernel recovers from a worker "
+                             "crash/hang (default: retry-then-fallback)")
     parser.add_argument("--import", dest="imports", action="append",
                         default=[], metavar="MODULE",
                         help="import MODULE first so third-party components "
@@ -162,6 +183,20 @@ def main(argv=None) -> int:
                                   "exit 1 on regression")
     fleet_group.add_argument("--write", action="store_true",
                              help="write/refresh the KPI baseline")
+    fleet_group.add_argument("--timeout", type=float, default=None,
+                             metavar="SECONDS",
+                             help="per-run wall-clock timeout; a run that "
+                                  "exceeds it fails (and may be retried) "
+                                  "instead of stalling the fleet")
+    fleet_group.add_argument("--retries", type=int, default=0, metavar="N",
+                             help="relaunch a failed run up to N times "
+                                  "with exponential backoff (attempt "
+                                  "counts land in metrics.json and the "
+                                  "KPI row)")
+    fleet_group.add_argument("--backoff", type=float, default=0.5,
+                             metavar="SECONDS",
+                             help="base backoff between retry attempts "
+                                  "(doubles per attempt; default: 0.5)")
     args = parser.parse_args(argv)
 
     if args.shards is not None and args.shards < 1:
@@ -189,6 +224,10 @@ def main(argv=None) -> int:
             parser.error("--shards applies to single scenarios; "
                          "parameterize a fleet via a matrix axis on "
                          "runtime.shards instead")
+        if args.barrier_deadline is not None or args.recovery_policy:
+            parser.error("--barrier-deadline/--recovery-policy apply to "
+                         "single scenarios; set [runtime.supervision] in "
+                         "the scenario files of a fleet instead")
         if args.check and args.write:
             parser.error("--check and --write are mutually exclusive "
                          "(check first, then write if the change is real)")
@@ -197,6 +236,8 @@ def main(argv=None) -> int:
         return _run_fleet_cli(args)
     if args.check or args.write:
         parser.error("--check/--write require --fleet")
+    if args.timeout is not None or args.retries or args.backoff != 0.5:
+        parser.error("--timeout/--retries/--backoff require --fleet")
     if not args.scenarios:
         parser.error("no scenario files given (or use --list / --fleet)")
 
@@ -212,6 +253,20 @@ def main(argv=None) -> int:
             spec = spec.with_cluster(seed=args.seed)
         if args.shards is not None:
             spec = spec.replace(shards=args.shards)
+        if args.barrier_deadline is not None or args.recovery_policy:
+            import dataclasses
+            overrides = {}
+            if args.barrier_deadline is not None:
+                overrides["barrier_deadline_s"] = args.barrier_deadline
+            if args.recovery_policy:
+                overrides["policy"] = args.recovery_policy
+            try:
+                spec = spec.replace(supervision=dataclasses.replace(
+                    spec.supervision, **overrides))
+            except SpecError as e:
+                print(f"{path}: {e}", file=sys.stderr)
+                status = 2
+                continue
         if args.print_spec:
             print(dumps_toml(spec.to_dict()), end="")
             continue

@@ -40,6 +40,23 @@ its past (``KernelCore.run_below`` leaves the clock strictly below the
 horizon).  Cross-shard arrivals are totally ordered by the merge key
 ``(timestamp, shard, seq)``.
 
+Supervision: every coordinator-side control-queue receive runs under a
+watchdog (:class:`_Supervisor`) parameterized by the spec's
+``[runtime.supervision]`` table — a wall-clock barrier deadline bounds
+each window, with liveness polls in between so a dead worker is
+detected in milliseconds rather than at deadline expiry.  Failures are
+classified (``crashed`` / ``hung`` / ``poisoned``) into
+:class:`ShardWorkerError` and handled by policy: relaunch the sharded
+run (worker faults key on the launch attempt, so a retry is clean),
+degrade to the single kernel (byte-identical by the determinism walls),
+or raise.  Recoveries stamp the ``kernel.recovery.*`` counter family
+and a ``supervisor`` trace point — substrate telemetry the behaviour
+walls strip, which is what lets a recovered run still compare
+byte-identical.  The deterministic chaos seam
+(:class:`~repro.faults.WorkerCrash` / :class:`~repro.faults.WorkerStall`)
+kills or stalls shard *k* exactly at window *n*, putting the supervisor
+itself under test.
+
 Constraints: a shard cut must be a switch-to-switch WAN trunk — host
 TAXI links share a BER rng across both directions and a host can never
 be split from its own adapter/switch, so plans that would cut one raise
@@ -59,20 +76,24 @@ import multiprocessing
 import os
 import queue as _queue
 import threading
+import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from ..config.build import (ScenarioResult, ScenarioRun, _export_obs,
                             build_cluster)
-from ..config.spec import ScenarioSpec, SpecError
+from ..config.spec import ScenarioSpec, SpecError, SupervisionSpec
+from ..faults.plan import WorkerCrash, WorkerStall
+from ..obs.recovery import (SUPERVISOR_ENTITY, stamp_recovery,
+                            stamp_recovery_snapshot)
 from ..registry import APP_DRIVERS, KERNELS
 from .kernel import Event, SimulationError
 from .trace import Activity, Interval, Timeline
 
 __all__ = [
-    "CutEvent", "ShardPlan", "ShardFallbackWarning", "plan_shards",
-    "merge_key", "merge_cut_events", "next_window",
+    "CutEvent", "ShardPlan", "ShardFallbackWarning", "ShardWorkerError",
+    "plan_shards", "merge_key", "merge_cut_events", "next_window",
     "run_scenario_sharded", "MergedMetrics", "MergedTracer",
     "ShardedClusterView",
 ]
@@ -82,6 +103,40 @@ logger = logging.getLogger(__name__)
 
 class ShardFallbackWarning(UserWarning):
     """``runtime.shards > 1`` degraded to the single kernel."""
+
+
+class ShardWorkerError(SimulationError):
+    """A shard worker failed in the *execution substrate*, not the model.
+
+    The supervisor classifies every control-plane failure into one
+    ``reason``:
+
+    * ``"crashed"`` — the worker process/thread died without reporting
+      (pipe EOF, nonzero exit, or a thread that returned mid-protocol);
+    * ``"hung"`` — the worker stayed alive but sent nothing within the
+      barrier deadline (``runtime.supervision.barrier_deadline_s``);
+    * ``"poisoned"`` — the control channel delivered a payload that
+      could not be deserialized.
+
+    ``window`` is the coordinator's 1-based round counter at the time of
+    failure (0 = the hello phase, -1 = post-run teardown) and
+    ``last_good`` the wall-clock :func:`time.monotonic` stamp of the
+    worker's last healthy message — both are wall-clock/protocol facts,
+    never simulated time, so supervision cannot perturb determinism.
+    """
+
+    def __init__(self, shard: int, window: int, reason: str,
+                 detail: str = "", last_good: Optional[float] = None):
+        self.shard = shard
+        self.window = window
+        self.reason = reason
+        self.detail = detail
+        self.last_good = last_good
+        msg = f"shard {shard} worker {reason} at window {window}"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
 
 #: worker execution mode when none is passed: real processes where
 #: ``fork`` exists (benchmarks want parallelism), threads elsewhere.
@@ -365,32 +420,92 @@ class _Aborted(BaseException):
     """Raised inside a worker when the coordinator aborts the run."""
 
 
+class _SimulatedCrash(BaseException):
+    """A :class:`~repro.faults.WorkerCrash` firing in a thread worker.
+
+    Thread workers cannot ``os._exit`` (it would take the coordinator
+    with them), so the chaos seam raises this instead and the worker
+    body swallows it *without* sending anything — from the supervisor's
+    side a dead thread and a dead process look the same: silence.
+    """
+
+
 class _QueueChannel:
-    """Thread-mode stand-in for an mp ``Connection``."""
+    """Thread-mode stand-in for an mp ``Connection``.
+
+    Mirrors the slice of the ``Connection`` API the supervisor uses:
+    ``poll(timeout)`` peeks (buffering one message) so bounded-deadline
+    receives work identically over queues and pipes.
+    """
 
     def __init__(self, send_q: _queue.Queue, recv_q: _queue.Queue):
         self._send_q = send_q
         self._recv_q = recv_q
+        self._buf: list = []
 
     def send(self, msg) -> None:
         self._send_q.put(msg)
 
+    def poll(self, timeout: float = 0.0) -> bool:
+        if self._buf:
+            return True
+        try:
+            if timeout and timeout > 0:
+                item = self._recv_q.get(timeout=timeout)
+            else:
+                item = self._recv_q.get_nowait()
+        except _queue.Empty:
+            return False
+        self._buf.append(item)
+        return True
+
     def recv(self):
+        if self._buf:
+            return self._buf.pop(0)
         return self._recv_q.get()
+
+    def close(self) -> None:
+        pass                        # queues have nothing to release
 
 
 class _WorkerState:
     """Mutable per-worker protocol state shared by the runtime patches."""
 
-    def __init__(self, shard_id: int, ctl):
+    def __init__(self, shard_id: int, ctl, attempt: int = 0,
+                 transport: str = "thread"):
         self.shard_id = shard_id
         self.ctl = ctl
+        self.attempt = attempt      # sharded launch attempt (0 = first)
+        self.transport = transport  # "thread" | "process"
         self.outbox: list[CutEvent] = []
         self.seq = 0
+        self.window = 0             # 1-based once the report loop starts
         self.ran = False            # did the driver ever call rt.run()?
         self.finished = False
         self.t_final = 0.0
         self.channels: dict[str, Any] = {}
+        self.worker_faults: tuple = ()
+
+
+def _fire_worker_faults(state: _WorkerState) -> None:
+    """The deterministic chaos seam: die or stall at a window boundary.
+
+    Fires just before the worker reports for ``state.window``, so a
+    :class:`~repro.faults.WorkerCrash` manifests as a *missing* report
+    and a :class:`~repro.faults.WorkerStall` as a *late* one — exactly
+    the two control-plane failures the supervisor classifies.  Keyed on
+    the protocol round counter (and launch attempt), never wall-clock,
+    so the same spec kills the same shard at the same point every run.
+    """
+    for ev in state.worker_faults:
+        if not ev.matches(state.shard_id, state.window, state.attempt):
+            continue
+        if isinstance(ev, WorkerStall):
+            time.sleep(ev.stall_s)
+        elif isinstance(ev, WorkerCrash):
+            if state.transport == "process":
+                os._exit(66)
+            raise _SimulatedCrash()
 
 
 def _index_channels(fabric) -> dict[str, Any]:
@@ -484,6 +599,8 @@ def _patch_runtime(rt, cluster, plan: ShardPlan, state: _WorkerState) -> None:
         ctl.send(("hello", until))
         makespan = 0.0
         while True:
+            state.window += 1
+            _fire_worker_faults(state)
             done = [t for t in rt._finish_times if t is not None]
             ctl.send(("report", sim.peek(), tuple(state.outbox), sim._now,
                       max(done) if done else None))
@@ -608,13 +725,19 @@ def _pid_weights(spec: ScenarioSpec, n_hosts: int):
     return None
 
 
-def _run_worker(spec: ScenarioSpec, shard_id: int, ctl) -> None:
+def _run_worker(spec: ScenarioSpec, shard_id: int, ctl,
+                attempt: int = 0, transport: str = "thread") -> None:
     """One shard worker: materialize the owned shard (or replicate the
     full universe when the partial gate fails), drive it by windows."""
     try:
         driver = APP_DRIVERS.get(spec.app.driver)
         run = ScenarioRun(spec)
-        state = _WorkerState(shard_id, ctl)
+        state = _WorkerState(shard_id, ctl, attempt=attempt,
+                             transport=transport)
+        if spec.faults is not None:
+            state.worker_faults = tuple(
+                ev for ev in spec.faults.to_plan().worker_events
+                if ev.shard == shard_id and ev.attempt == attempt)
         plan = None
         bp = _blueprint_for(spec) if _partial_eligible(spec) else None
         if bp is not None:
@@ -649,6 +772,8 @@ def _run_worker(spec: ScenarioSpec, shard_id: int, ctl) -> None:
         except Exception as exc:
             ctl.send(("error", RuntimeError(
                 f"shard {shard_id}: result not transferable: {exc!r}")))
+    except _SimulatedCrash:
+        return                      # die silently, like the real thing
     except _Aborted:
         ctl.send(("aborted",))
     except BaseException as exc:  # noqa: BLE001 - reported to coordinator
@@ -659,76 +784,187 @@ def _run_worker(spec: ScenarioSpec, shard_id: int, ctl) -> None:
                 f"shard {shard_id}: {type(exc).__name__}: {exc}")))
 
 
-def _worker_process_main(doc_json: str, shard_id: int, conn) -> None:
+def _worker_process_main(doc_json: str, shard_id: int, conn,
+                         attempt: int = 0) -> None:
     """Forked-child entry: rebuild the spec and run the worker body."""
     from ..config.build import ensure_components
     ensure_components()
     spec = ScenarioSpec.from_dict(json.loads(doc_json))
-    _run_worker(spec, shard_id, conn)
+    _run_worker(spec, shard_id, conn, attempt=attempt, transport="process")
 
 
 # --------------------------------------------------------------------------
-# coordinator
+# coordinator + supervision
 # --------------------------------------------------------------------------
 
-def _recv(ctl, shard: int):
-    try:
-        return ctl.recv()
-    except (EOFError, OSError) as exc:
-        return ("error", RuntimeError(
-            f"shard {shard} worker died without reporting: {exc!r}"))
+class _Supervisor:
+    """Watchdog wrapping every coordinator-side control-queue receive.
 
+    Each :meth:`recv` is bounded by the spec's barrier deadline and
+    interleaved with liveness polls every ``liveness_poll_s``, so a
+    crashed worker is detected within one poll interval — not after the
+    full deadline — while a wedged-but-alive worker is declared
+    ``hung`` only once the deadline truly expires.  All timing is
+    wall-clock (:func:`time.monotonic`): the supervisor never reads or
+    feeds simulated time, which is what keeps a supervised run
+    byte-identical to an unsupervised one.
+    """
 
-def _abort_all(ctls, active, errors) -> None:
-    """Stop surviving workers, drain their terminal messages, re-raise."""
-    for s in active:
-        try:
-            ctls[s].send(("abort",))
-        except Exception:
-            pass
-    for s in active:
+    def __init__(self, ctls, workers, mode: str, spec: SupervisionSpec):
+        self.ctls = ctls
+        self.workers = workers
+        self.mode = mode
+        self.spec = spec
+        self.window = 0                 # current coordinator round
+        now = time.monotonic()
+        self.last_good = [now] * len(ctls)
+
+    def fail(self, shard: int, reason: str,
+             detail: str = "") -> ShardWorkerError:
+        return ShardWorkerError(shard=shard, window=self.window,
+                                reason=reason, detail=detail,
+                                last_good=self.last_good[shard])
+
+    def recv(self, shard: int, timeout: Optional[float] = None):
+        """One supervised receive; raises :class:`ShardWorkerError`."""
+        budget = self.spec.barrier_deadline_s if timeout is None else timeout
+        deadline = time.monotonic() + budget
+        ctl = self.ctls[shard]
         while True:
-            msg = _recv(ctls[s], s)
-            if msg[0] in ("aborted", "done"):
-                break
-            if msg[0] == "error":
-                errors.setdefault(s, msg[1])
-                break
-    raise errors[min(errors)]
+            remaining = deadline - time.monotonic()
+            step = min(self.spec.liveness_poll_s, max(remaining, 0.0))
+            try:
+                ready = ctl.poll(step)
+            except (EOFError, OSError) as exc:
+                raise self.fail(shard, "crashed",
+                                f"control channel failed: {exc!r}")
+            if ready:
+                try:
+                    msg = ctl.recv()
+                except EOFError:
+                    raise self.fail(shard, "crashed",
+                                    "worker closed its control channel "
+                                    "without reporting") from None
+                except OSError as exc:
+                    raise self.fail(shard, "crashed",
+                                    f"control channel failed: {exc!r}")
+                except Exception as exc:
+                    raise self.fail(shard, "poisoned",
+                                    f"undecodable control payload: {exc!r}")
+                self.last_good[shard] = time.monotonic()
+                return msg
+            if not self.workers[shard].is_alive():
+                # one last zero-timeout peek: the worker may have sent
+                # its message and exited between our poll and this check
+                try:
+                    if ctl.poll(0):
+                        continue
+                except (EOFError, OSError):
+                    pass
+                if self.mode == "process":
+                    code = self.workers[shard].exitcode
+                    detail = f"worker process exited with code {code}"
+                else:
+                    detail = "worker thread exited without reporting"
+                raise self.fail(shard, "crashed", detail)
+            if remaining <= 0:
+                raise self.fail(
+                    shard, "hung",
+                    f"no report within the {budget:g}s barrier deadline "
+                    "(worker still alive)")
+
+    def abort(self, failed: Optional[int], active, errors) -> None:
+        """Stop every worker after a failure, draining survivors.
+
+        The abort is sent to the *failed* shard too: a stalled thread
+        worker eventually wakes, reads it and exits cleanly instead of
+        blocking forever on a control queue nobody serves anymore.
+        Survivor drains are bounded by the worker grace period — a
+        worker that wedges while aborting is simply left for teardown.
+        """
+        for s in active:
+            if s == failed:
+                continue
+            try:
+                self.ctls[s].send(("abort",))
+            except Exception:
+                pass
+        if failed is not None:
+            try:
+                self.ctls[failed].send(("abort",))
+            except Exception:
+                pass
+        for s in active:
+            if s == failed:
+                continue
+            while True:
+                try:
+                    msg = self.recv(s, timeout=self.spec.worker_grace_s)
+                except ShardWorkerError:
+                    break           # died/wedged mid-abort: teardown's job
+                if msg[0] in ("aborted", "done"):
+                    break
+                if msg[0] == "error":
+                    errors.setdefault(s, msg[1])
+                    break
 
 
-def _coordinate(ctls, plan: ShardPlan) -> list[dict]:
-    """Drive the window protocol; return per-shard result payloads."""
+def _coordinate(ctls, workers, plan: ShardPlan,
+                supervision: SupervisionSpec, mode: str) -> list[dict]:
+    """Drive the window protocol; return per-shard result payloads.
+
+    Worker-*reported* errors (driver exceptions, spec violations) abort
+    the survivors and re-raise the worker's own exception, exactly as
+    before supervision existed.  Worker *silence* — crash, hang,
+    poisoned channel — surfaces as :class:`ShardWorkerError` so the
+    recovery policy in :func:`run_scenario_sharded` can act on it.
+    """
     S = plan.n_shards
+    sup = _Supervisor(ctls, workers, mode, supervision)
     active = list(range(S))
     errors: dict[int, BaseException] = {}
 
+    def fail_over(exc: ShardWorkerError):
+        sup.abort(exc.shard, active, errors)
+        raise exc
+
+    def reported(errors) -> None:
+        sup.abort(None, [s for s in active if s not in errors], errors)
+        raise errors[min(errors)]
+
     hellos: dict[int, Any] = {}
     for s in active:
-        msg = _recv(ctls[s], s)
+        try:
+            msg = sup.recv(s)
+        except ShardWorkerError as exc:
+            fail_over(exc)
         if msg[0] == "error":
             errors[s] = msg[1]
         else:
             hellos[s] = msg[1]
     if errors:
-        _abort_all(ctls, [s for s in active if s not in errors], errors)
+        reported(errors)
     until = hellos[0]
     if any(hellos[s] != until for s in active):
         errors[0] = SpecError(
             f"workers disagree on run(until=...): {sorted(hellos.items())}")
-        _abort_all(ctls, active, errors)
+        reported(errors)
 
     pending: list[list[CutEvent]] = [[] for _ in range(S)]
     while True:
+        sup.window += 1
         reports: dict[int, tuple] = {}
         for s in active:
-            msg = _recv(ctls[s], s)
+            try:
+                msg = sup.recv(s)
+            except ShardWorkerError as exc:
+                fail_over(exc)
             if msg[0] == "error":
                 errors[s] = msg[1]
             else:
                 reports[s] = msg
         if errors:
-            _abort_all(ctls, [s for s in active if s not in errors], errors)
+            reported(errors)
         for s in active:
             for rec in reports[s][2]:
                 pending[rec.dest_shard].append(rec)
@@ -755,7 +991,10 @@ def _coordinate(ctls, plan: ShardPlan) -> list[dict]:
 
     payloads: list[Optional[dict]] = [None] * S
     for s in active:
-        msg = _recv(ctls[s], s)
+        try:
+            msg = sup.recv(s)
+        except ShardWorkerError as exc:
+            fail_over(exc)
         if msg[0] == "error":
             errors[s] = msg[1]
         elif msg[0] == "done":
@@ -963,7 +1202,7 @@ class ShardedClusterView:
 # the registered kernel
 # --------------------------------------------------------------------------
 
-def _launch_threads(spec: ScenarioSpec, n: int):
+def _launch_threads(spec: ScenarioSpec, n: int, attempt: int = 0):
     ctls, workers = [], []
     for s in range(n):
         to_worker: _queue.Queue = _queue.Queue()
@@ -972,20 +1211,22 @@ def _launch_threads(spec: ScenarioSpec, n: int):
         ctls.append(_QueueChannel(to_worker, from_worker))
         workers.append(threading.Thread(
             target=_run_worker, args=(spec, s, worker_ctl),
+            kwargs={"attempt": attempt, "transport": "thread"},
             name=f"shard-{s}", daemon=True))
     for t in workers:
         t.start()
     return ctls, workers
 
 
-def _launch_processes(spec: ScenarioSpec, n: int):
+def _launch_processes(spec: ScenarioSpec, n: int, attempt: int = 0):
     ctx = multiprocessing.get_context("fork")
     doc = spec.canonical_json()
     ctls, workers = [], []
     for s in range(n):
         parent_conn, child_conn = ctx.Pipe()
         p = ctx.Process(target=_worker_process_main,
-                        args=(doc, s, child_conn), name=f"shard-{s}")
+                        args=(doc, s, child_conn, attempt),
+                        name=f"shard-{s}")
         ctls.append(parent_conn)
         workers.append(p)
     for p in workers:
@@ -993,19 +1234,63 @@ def _launch_processes(spec: ScenarioSpec, n: int):
     return ctls, workers
 
 
-def _fallback_single(spec: ScenarioSpec, reason: str) -> ScenarioResult:
+def _shutdown_workers(ctls, workers, mode: str, grace: float) -> list[int]:
+    """Deterministic teardown: abort, join with a grace period, reap.
+
+    Every worker gets an explicit ``("abort",)`` before the join — a
+    worker still in its protocol loop exits at its next receive instead
+    of leaking, and one that already finished just ignores queue
+    garbage.  Process workers that outlive the grace period are
+    ``terminate()``d then ``kill()``ed; thread workers cannot be killed,
+    so their shard ids are *returned* for the caller to act on (raise on
+    the success path, tolerate on the failure path — a stalled chaos
+    thread wakes, reads its abort and exits on its own).
+    """
+    for ctl in ctls:
+        try:
+            ctl.send(("abort",))
+        except Exception:
+            pass
+    for w in workers:
+        w.join(timeout=grace)
+    leaked = [s for s, w in enumerate(workers) if w.is_alive()]
+    if mode == "process":
+        for s in leaked:              # pragma: no cover - crash cleanup
+            workers[s].terminate()
+        for s in leaked:              # pragma: no cover - crash cleanup
+            workers[s].join(timeout=grace)
+            if workers[s].is_alive():
+                workers[s].kill()
+                workers[s].join(timeout=grace)
+        for ctl in ctls:
+            try:
+                ctl.close()
+            except Exception:
+                pass
+        leaked = [s for s in leaked if workers[s].is_alive()]
+    return leaked
+
+
+def _fallback_single(spec: ScenarioSpec, reason: str, detail: str,
+                     failures=(), retries: int = 0) -> ScenarioResult:
     """Run the single kernel — loudly when ``shards > 1`` degrades.
 
-    The warning + ``kernel.shard_fallback`` counter make silent serial
-    execution of a supposedly parallel scenario visible in both the
-    console and the metric snapshot.
+    ``reason`` is a short slug (``"trivial-plan"``, ``"partial-cluster"``,
+    ``"worker-crashed"``, ...) stamped as the ``reason=`` label on the
+    ``kernel.shard_fallback`` counter, so fleets can tell a topology
+    that legitimately collapses apart from a recovery degradation;
+    ``detail`` is the human sentence for the warning.  When the
+    fallback *recovers* from worker failures, the ``kernel.recovery.*``
+    family is stamped too.
     """
     degraded = spec.shards > 1
     if degraded:
         warnings.warn(ShardFallbackWarning(
             f"scenario {spec.name!r}: runtime.shards = {spec.shards} "
-            f"falls back to the single kernel: {reason}"), stacklevel=3)
-        logger.info("scenario %r: shard fallback: %s", spec.name, reason)
+            f"falls back to the single kernel [{reason}]: {detail}"),
+            stacklevel=3)
+        logger.info("scenario %r: shard fallback [%s]: %s",
+                    spec.name, reason, detail)
     result = KERNELS.get("single")(spec)
     if degraded:
         metrics = getattr(result.cluster, "metrics", None)
@@ -1013,7 +1298,10 @@ def _fallback_single(spec: ScenarioSpec, reason: str) -> ScenarioResult:
             metrics.counter(
                 "kernel.shard_fallback",
                 help="sharded-kernel runs degraded to the single kernel",
-            ).inc()
+                reason=reason).inc()
+        if failures:
+            stamp_recovery(metrics, getattr(result.cluster, "tracer", None),
+                           failures, retries=retries, fallback_reason=reason)
     return result
 
 
@@ -1030,6 +1318,14 @@ def run_scenario_sharded(spec: ScenarioSpec,
     collapses to one shard the registered ``single`` kernel runs
     instead, bit-identically (with a :class:`ShardFallbackWarning` if
     the spec asked for more).
+
+    Execution is supervised: worker failures (crash, hang, poisoned
+    channel) are classified into :class:`ShardWorkerError` and handled
+    per ``spec.supervision.policy`` — relaunch the sharded run up to
+    ``max_retries`` times, degrade to the single kernel, or raise.
+    Either recovery is deterministic; a recovered run's behaviour is
+    byte-identical to an undisturbed one, with the recovery itself
+    visible in ``kernel.recovery.*``.
 
     Planning is blueprint-first: when the topology has a registered
     blueprint the plan comes from a :class:`~repro.net.blueprint.
@@ -1060,14 +1356,16 @@ def run_scenario_sharded(spec: ScenarioSpec,
             # single kernel runs (and re-raises if the spec is
             # genuinely broken).
             return _fallback_single(
-                spec, "the spec's cluster table is partial "
-                "(self-contained drivers build their own cluster)")
+                spec, "partial-cluster",
+                "the spec's cluster table is partial (self-contained "
+                "drivers build their own cluster)")
         n_hosts = probe.n_hosts
         plan = plan_shards(probe, spec.shards, spec.shard_hints,
                            pid_weights=_pid_weights(spec, n_hosts))
     if plan.n_shards <= 1:
         return _fallback_single(
-            spec, "the topology collapses to one shard (a shared LAN "
+            spec, "trivial-plan",
+            "the topology collapses to one shard (a shared LAN "
             "medium, no ATM fabric, or a single host group)")
     partial = bp is not None and _partial_eligible(spec)
     logger.info(
@@ -1076,24 +1374,47 @@ def run_scenario_sharded(spec: ScenarioSpec,
         [round(w, 3) for w in plan.shard_loads],
         "partial" if partial else "replicated")
     mode = mode or DEFAULT_MODE
-    if mode == "thread":
-        ctls, workers = _launch_threads(spec, plan.n_shards)
-    elif mode == "process":
-        ctls, workers = _launch_processes(spec, plan.n_shards)
-    else:
+    if mode not in ("thread", "process"):
         raise SpecError(f"unknown sharded-kernel mode {mode!r}; "
                         "expected 'thread' or 'process'")
-    try:
-        payloads = _coordinate(ctls, plan)
-    finally:
-        for w in workers:
-            w.join(timeout=30)
-        if mode == "process":
-            for w in workers:
-                if w.is_alive():      # pragma: no cover - crash cleanup
-                    w.terminate()
-            for ctl in ctls:
-                ctl.close()
+    launch = _launch_threads if mode == "thread" else _launch_processes
+    supervision = spec.supervision
+    failures: list[ShardWorkerError] = []
+    attempt = 0
+    while True:
+        ctls, workers = launch(spec, plan.n_shards, attempt)
+        try:
+            payloads = _coordinate(ctls, workers, plan, supervision, mode)
+        except ShardWorkerError as err:
+            _shutdown_workers(ctls, workers, mode,
+                              supervision.worker_grace_s)
+            failures.append(err)
+            logger.warning("scenario %r: attempt %d: %s",
+                           spec.name, attempt, err)
+            if attempt < supervision.retries_allowed:
+                attempt += 1
+                continue
+            if supervision.falls_back:
+                return _fallback_single(
+                    spec, f"worker-{err.reason}", str(err),
+                    failures=failures, retries=attempt)
+            raise
+        except BaseException:
+            # worker-reported errors (driver bugs, spec violations) and
+            # coordinator crashes: tear down and re-raise untouched —
+            # recovery is only for substrate failures
+            _shutdown_workers(ctls, workers, mode,
+                              supervision.worker_grace_s)
+            raise
+        leaked = _shutdown_workers(ctls, workers, mode,
+                                   supervision.worker_grace_s)
+        if leaked:
+            raise ShardWorkerError(
+                shard=leaked[0], window=-1, reason="hung",
+                detail=(f"worker thread(s) {leaked} never joined within "
+                        f"the {supervision.worker_grace_s:g}s grace "
+                        "period after a completed run"))
+        break
     value = _merge_values([p["value"] for p in payloads])
     snapshot = _merge_snapshots([p["snapshot"] for p in payloads], plan)
     # KPI-stamp the plan choice (behavior walls strip "kernel." names)
@@ -1104,6 +1425,14 @@ def run_scenario_sharded(spec: ScenarioSpec,
     snapshot["kernel.shard_load"] = {
         f"shard={s}": w for s, w in enumerate(plan.shard_loads)}
     timelines, events = _merge_traces([p["trace"] for p in payloads], plan)
+    if failures:
+        # the run *recovered*: say so in the snapshot and on the trace.
+        # kernel.* series and the supervisor entity are substrate
+        # telemetry — behaviour walls strip both, preserving the
+        # byte-identity guarantee for recovered runs.
+        stamp_recovery_snapshot(snapshot, failures, retries=attempt)
+        events.extend((0.0, SUPERVISOR_ENTITY, "kernel.recovery", str(f))
+                      for f in failures)
     view = ShardedClusterView(tracer=MergedTracer(timelines, events),
                               metrics=MergedMetrics(snapshot),
                               n_hosts=n_hosts)

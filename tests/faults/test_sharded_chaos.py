@@ -73,10 +73,14 @@ OUTAGE_DOC = {
 
 
 def _doc(result) -> dict:
-    result.cluster.tracer.close_all()
+    tracer = result.cluster.tracer
+    tracer.close_all()
+    # the supervisor's recovery points are substrate telemetry, stripped
+    # like the kernel.* metric names behavior_snapshot drops
+    tracer.events = [e for e in tracer.events if e[1] != "supervisor"]
     return {"value": result.value,
             "metrics": behavior_snapshot(result.cluster.metrics),
-            "chrome": to_chrome_events(result.cluster.tracer)}
+            "chrome": to_chrome_events(tracer)}
 
 
 def _run(doc: dict, shards: int):
@@ -112,4 +116,57 @@ def test_link_outage_retransmit_across_the_cut_matches_single_kernel():
     diffs = _diff_paths(_doc(single), _doc(sharded))
     assert not diffs, (
         f"outage chaos diverged under sharding ({len(diffs)}):\n  "
+        + "\n  ".join(diffs[:40]))
+
+
+def _worker_chaos_doc(extra_faults, supervision=None) -> dict:
+    """OUTAGE_DOC plus kernel-substrate chaos: the cluster fault and the
+    worker fault land in the *same* plan, so this also proves the
+    injector/supervisor split routes each to the right layer."""
+    import json as _json
+    doc = _json.loads(_json.dumps(OUTAGE_DOC))
+    doc["faults"]["events"] = doc["faults"]["events"] + extra_faults
+    sup = {"barrier_deadline_s": 5.0, "worker_grace_s": 2.0,
+           "liveness_poll_s": 0.01}
+    sup.update(supervision or {})
+    doc["runtime"]["supervision"] = sup
+    return doc
+
+
+def test_worker_crash_recovery_under_link_outage_chaos():
+    """Kill a shard worker mid-window while the simulated WAN is
+    *also* dropping a link: the retry must replay the whole run —
+    outage, retransmissions and all — byte-identically, and say so in
+    kernel.recovery.*."""
+    doc = _worker_chaos_doc(
+        [{"kind": "worker-crash", "shard": 1, "window": 2}])
+    single = _run(OUTAGE_DOC, 1)
+    recovered = _run(doc, 2)
+    snap = recovered.cluster.metrics.snapshot()
+    assert snap["kernel.recovery.worker_failures"] == {
+        "reason=crashed,shard=1": 1}
+    assert snap["kernel.recovery.retries"] == {"": 1}
+    assert recovered.cluster.metrics.total("ec.retransmissions") >= 1
+    diffs = _diff_paths(_doc(single), _doc(recovered))
+    assert not diffs, (
+        f"crash recovery diverged under chaos ({len(diffs)}):\n  "
+        + "\n  ".join(diffs[:40]))
+
+
+def test_worker_stall_recovery_under_link_outage_chaos():
+    """Stall a worker past the barrier deadline during the outage run:
+    the supervisor declares it hung at the deadline and the retry is
+    byte-identical."""
+    doc = _worker_chaos_doc(
+        [{"kind": "worker-stall", "shard": 0, "window": 2,
+          "stall_s": 1.0}],
+        supervision={"barrier_deadline_s": 0.25})
+    single = _run(OUTAGE_DOC, 1)
+    recovered = _run(doc, 2)
+    snap = recovered.cluster.metrics.snapshot()
+    assert snap["kernel.recovery.worker_failures"] == {
+        "reason=hung,shard=0": 1}
+    diffs = _diff_paths(_doc(single), _doc(recovered))
+    assert not diffs, (
+        f"stall recovery diverged under chaos ({len(diffs)}):\n  "
         + "\n  ".join(diffs[:40]))

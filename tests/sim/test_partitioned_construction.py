@@ -130,7 +130,7 @@ def test_trivial_plan_falls_back_loudly():
                       "single kernel"):
         result = KERNELS.get("sharded")(spec, mode="thread")
     snap = result.cluster.metrics.snapshot()
-    assert snap["kernel.shard_fallback"] == {"": 1}
+    assert snap["kernel.shard_fallback"] == {"reason=trivial-plan": 1}
 
 
 def test_cli_rejects_nonpositive_shards(capsys):

@@ -1,0 +1,335 @@
+"""Supervised sharded execution: watchdogs, deadlines, crash recovery.
+
+The supervision layer must make shard-worker failures *bounded* (a
+crashed or hung worker is detected within the spec's wall-clock
+deadlines, never hanging the coordinator), *classified* (a structured
+:class:`~repro.sim.sharded.ShardWorkerError` naming shard, window and
+reason) and *recoverable* (retry the sharded launch, or degrade to the
+single kernel) — with the recovered run's behaviour byte-identical to
+an undisturbed one, because wall-clock deadlines never feed simulated
+time.  The chaos seam (``worker-crash`` / ``worker-stall`` fault kinds)
+is what puts all of this under deterministic test.
+"""
+
+import os
+import queue
+import threading
+import time
+
+import pytest
+
+from repro.config.build import build_fault_plan, run_scenario
+from repro.config.spec import ScenarioSpec, SpecError, SupervisionSpec
+from repro.faults import FaultPlan, WorkerCrash, WorkerStall
+from repro.obs.export import to_chrome_events
+from repro.sim.sharded import (ShardFallbackWarning, ShardWorkerError,
+                               _shutdown_workers, run_scenario_sharded)
+from tests.perf_lock.scenarios import behavior_snapshot
+from tests.perf_lock.test_golden_lock import _diff_paths
+
+HAS_FORK = hasattr(os, "fork")
+
+#: a 3-host NYNET ring split 2/1 across the WAN trunk — small enough to
+#: run in milliseconds, sharded enough to have a real window protocol
+BASE_DOC = {
+    "name": "supervised-ring",
+    "cluster": {"topology": "nynet", "options": {"sites": [
+        {"name": "syr", "n_hosts": 2, "region": "upstate"},
+        {"name": "nyc", "n_hosts": 1, "region": "downstate"}]}},
+    "runtime": {"mode": "nsm", "error": "ack", "barriers": {"0": 3},
+                "shards": 2,
+                "supervision": {"barrier_deadline_s": 5.0,
+                                "worker_grace_s": 2.0,
+                                "liveness_poll_s": 0.01}},
+    "app": {"driver": "ring", "params": {"rounds": 2, "nbytes": 2048}},
+    "obs": {"trace": True, "metrics": True},
+}
+
+
+def _doc(base: dict, *, faults=None, supervision=None) -> dict:
+    doc = json_roundtrip(base)
+    if faults is not None:
+        doc["faults"] = {"events": faults}
+    if supervision is not None:
+        doc["runtime"]["supervision"] = dict(
+            base["runtime"]["supervision"], **supervision)
+    return doc
+
+
+def json_roundtrip(doc: dict) -> dict:
+    import json
+    return json.loads(json.dumps(doc))
+
+
+def _behavior(result) -> dict:
+    """The behaviour wall: strip substrate telemetry (``kernel.*``
+    metric names and the ``supervisor`` trace entity) exactly as the
+    perf-lock walls do, then compare everything else bit for bit."""
+    tracer = result.cluster.tracer
+    tracer.close_all()
+    tracer.events = [e for e in tracer.events if e[1] != "supervisor"]
+    return {"value": result.value,
+            "metrics": behavior_snapshot(result.cluster.metrics),
+            "chrome": to_chrome_events(tracer)}
+
+
+def _run(doc: dict, mode="thread"):
+    return run_scenario_sharded(ScenarioSpec.from_dict(doc), mode=mode)
+
+
+@pytest.fixture(scope="module")
+def single_kernel_doc():
+    """The undisturbed single-kernel behaviour every recovery must hit."""
+    doc = json_roundtrip(BASE_DOC)
+    doc["runtime"].pop("shards")
+    doc["runtime"].pop("supervision")
+    return _behavior(run_scenario(ScenarioSpec.from_dict(doc)))
+
+
+class TestSupervisionSpec:
+    def test_defaults_round_trip_empty(self):
+        assert SupervisionSpec().to_dict() == {}
+        assert SupervisionSpec.from_dict({}) == SupervisionSpec()
+
+    def test_non_defaults_round_trip(self):
+        spec = SupervisionSpec(barrier_deadline_s=1.5, policy="raise",
+                               max_retries=3)
+        assert SupervisionSpec.from_dict(spec.to_dict()) == spec
+        assert spec.to_dict() == {"barrier_deadline_s": 1.5,
+                                  "max_retries": 3, "policy": "raise"}
+
+    def test_default_supervision_is_digest_invariant(self):
+        """Adding [runtime.supervision] with defaults must not change
+        the spec digest — every checked-in golden predates the table."""
+        doc = json_roundtrip(BASE_DOC)
+        doc["runtime"].pop("supervision")
+        bare = ScenarioSpec.from_dict(doc)
+        doc["runtime"]["supervision"] = {}
+        assert ScenarioSpec.from_dict(doc).digest() == bare.digest()
+        assert "supervision" not in bare.to_dict().get("runtime", {})
+
+    @pytest.mark.parametrize("bad", [
+        {"barrier_deadline_s": 0}, {"worker_grace_s": -1},
+        {"liveness_poll_s": 0}, {"policy": "pray"}, {"max_retries": -1},
+        {"max_retries": 1.5},
+        {"barrier_deadline_s": 0.01, "liveness_poll_s": 1.0},
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(SpecError):
+            SupervisionSpec.from_dict(bad)
+
+    def test_policy_ladder_properties(self):
+        assert SupervisionSpec(policy="retry").retries_allowed == 1
+        assert SupervisionSpec(policy="retry", max_retries=3
+                               ).retries_allowed == 3
+        assert SupervisionSpec(policy="fallback").retries_allowed == 0
+        assert SupervisionSpec(policy="raise").retries_allowed == 0
+        assert SupervisionSpec(policy="fallback").falls_back
+        assert SupervisionSpec(policy="retry-then-fallback").falls_back
+        assert not SupervisionSpec(policy="retry").falls_back
+
+
+class TestWorkerFaultPlan:
+    def test_round_trip_and_matching(self):
+        plan = FaultPlan((
+            WorkerCrash(shard=1, window=2),
+            WorkerStall(shard=0, window=3, attempt=1, stall_s=0.5)))
+        back = FaultPlan.from_dicts(ev.to_dict() for ev in plan.events)
+        assert back.events == plan.events
+        crash = plan.events[0]
+        assert crash.matches(1, 2, 0)
+        assert not crash.matches(1, 2, 1)       # attempt-gated
+        assert not crash.matches(0, 2, 0)
+        assert not crash.matches(1, 3, 0)
+
+    def test_cluster_plan_strips_worker_faults(self):
+        doc = _doc(BASE_DOC, faults=[
+            {"kind": "worker-crash", "shard": 1, "window": 2}])
+        spec = ScenarioSpec.from_dict(doc)
+        assert len(spec.faults.to_plan().worker_events) == 1
+        # the injector never sees them: nothing to arm on the cluster
+        assert build_fault_plan(spec) is None
+
+    def test_worker_faults_inert_on_single_kernel(self, single_kernel_doc):
+        doc = _doc(BASE_DOC, faults=[
+            {"kind": "worker-crash", "shard": 1, "window": 2}])
+        doc["runtime"].pop("shards")
+        doc["runtime"].pop("supervision")
+        result = run_scenario(ScenarioSpec.from_dict(doc))
+        assert not _diff_paths(single_kernel_doc, _behavior(result))
+
+
+class TestCrashRecovery:
+    def test_thread_crash_retries_byte_identically(self, single_kernel_doc):
+        doc = _doc(BASE_DOC, faults=[
+            {"kind": "worker-crash", "shard": 1, "window": 2}])
+        result = _run(doc)
+        snap = result.cluster.metrics.snapshot()
+        assert snap["kernel.recovery.worker_failures"] == {
+            "reason=crashed,shard=1": 1}
+        assert snap["kernel.recovery.retries"] == {"": 1}
+        assert "kernel.recovery.fallbacks" not in snap
+        assert result.cluster.tracer.points(entity="supervisor")
+        diffs = _diff_paths(single_kernel_doc, _behavior(result))
+        assert not diffs, (
+            f"recovered run diverged ({len(diffs)}):\n  "
+            + "\n  ".join(diffs[:20]))
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork unavailable")
+    def test_process_crash_retries_byte_identically(self, single_kernel_doc):
+        doc = _doc(BASE_DOC, faults=[
+            {"kind": "worker-crash", "shard": 1, "window": 2}])
+        result = _run(doc, mode="process")
+        snap = result.cluster.metrics.snapshot()
+        assert snap["kernel.recovery.worker_failures"] == {
+            "reason=crashed,shard=1": 1}
+        assert snap["kernel.recovery.retries"] == {"": 1}
+        assert not _diff_paths(single_kernel_doc, _behavior(result))
+
+    def test_fallback_policy_degrades_byte_identically(self,
+                                                       single_kernel_doc):
+        doc = _doc(BASE_DOC,
+                   faults=[{"kind": "worker-crash", "shard": 1,
+                            "window": 2}],
+                   supervision={"policy": "fallback"})
+        with pytest.warns(ShardFallbackWarning,
+                          match=r"\[worker-crashed\]"):
+            result = _run(doc)
+        snap = result.cluster.metrics.snapshot()
+        assert snap["kernel.shard_fallback"] == {
+            "reason=worker-crashed": 1}
+        assert snap["kernel.recovery.fallbacks"] == {
+            "reason=worker-crashed": 1}
+        assert snap["kernel.recovery.worker_failures"] == {
+            "reason=crashed,shard=1": 1}
+        assert not _diff_paths(single_kernel_doc, _behavior(result))
+
+    def test_raise_policy_surfaces_structured_error(self):
+        doc = _doc(BASE_DOC,
+                   faults=[{"kind": "worker-crash", "shard": 1,
+                            "window": 2}],
+                   supervision={"policy": "raise"})
+        with pytest.raises(ShardWorkerError) as exc:
+            _run(doc)
+        err = exc.value
+        assert (err.shard, err.window, err.reason) == (1, 2, "crashed")
+        assert err.last_good is not None
+        assert "shard 1 worker crashed at window 2" in str(err)
+
+    def test_attempt_gating_crashes_the_retry_too(self):
+        """attempt=0 AND attempt=1 faults exhaust the retry budget, so
+        the default ladder degrades — proving faults are re-armed per
+        launch attempt, not replayed blindly."""
+        doc = _doc(BASE_DOC, faults=[
+            {"kind": "worker-crash", "shard": 1, "window": 2},
+            {"kind": "worker-crash", "shard": 1, "window": 2,
+             "attempt": 1}])
+        with pytest.warns(ShardFallbackWarning):
+            result = _run(doc)
+        snap = result.cluster.metrics.snapshot()
+        assert snap["kernel.recovery.worker_failures"] == {
+            "reason=crashed,shard=1": 2}
+        assert snap["kernel.recovery.fallbacks"] == {
+            "reason=worker-crashed": 1}
+
+    def test_clean_run_stamps_no_recovery(self):
+        result = _run(json_roundtrip(BASE_DOC))
+        snap = result.cluster.metrics.snapshot()
+        assert not any(name.startswith("kernel.recovery.")
+                       for name in snap)
+        assert not result.cluster.tracer.points(entity="supervisor")
+
+
+class TestHangDetection:
+    def test_stall_past_deadline_classified_hung(self, single_kernel_doc):
+        """A worker stalled past the barrier deadline is declared hung
+        within deadline + one poll (not stall_s), then recovery runs."""
+        doc = _doc(BASE_DOC,
+                   faults=[{"kind": "worker-stall", "shard": 0,
+                            "window": 3, "stall_s": 1.2}],
+                   supervision={"barrier_deadline_s": 0.3,
+                                "worker_grace_s": 2.0})
+        t0 = time.monotonic()
+        result = _run(doc)
+        # detection happened at the 0.3s deadline, not the 1.2s stall:
+        # total = detect + teardown grace-join (bounded by the stall
+        # remainder) + clean retry.  Generous bound, still < stall x2.
+        assert time.monotonic() - t0 < 2.4
+        snap = result.cluster.metrics.snapshot()
+        assert snap["kernel.recovery.worker_failures"] == {
+            "reason=hung,shard=0": 1}
+        assert not _diff_paths(single_kernel_doc, _behavior(result))
+        # the stalled thread wakes, reads its abort, and exits: no leak
+        deadline = time.monotonic() + 5.0
+        while (any(t.name.startswith("shard-")
+                   for t in threading.enumerate())
+               and time.monotonic() < deadline):
+            time.sleep(0.02)
+        assert not [t.name for t in threading.enumerate()
+                    if t.name.startswith("shard-")]
+
+    def test_stall_below_deadline_is_invisible(self, single_kernel_doc):
+        doc = _doc(BASE_DOC, faults=[
+            {"kind": "worker-stall", "shard": 0, "window": 3,
+             "stall_s": 0.05}])
+        result = _run(doc)
+        snap = result.cluster.metrics.snapshot()
+        assert not any(name.startswith("kernel.recovery.")
+                       for name in snap)
+        assert not _diff_paths(single_kernel_doc, _behavior(result))
+
+
+class TestShutdownWorkers:
+    def test_leaked_thread_is_reported_not_ignored(self):
+        """A thread worker that ignores its abort past the grace period
+        comes back as a leaked shard id (the structured-teardown
+        satellite: the old code joined silently and leaked)."""
+        release = threading.Event()
+        t = threading.Thread(target=release.wait, name="stuck-shard",
+                             daemon=True)
+        t.start()
+        ch = type("Ch", (), {"send": lambda self, m: None})()
+        try:
+            leaked = _shutdown_workers([ch], [t], "thread", grace=0.05)
+            assert leaked == [0]
+        finally:
+            release.set()
+            t.join(timeout=2.0)
+
+    def test_joined_threads_leak_nothing(self):
+        q_in: queue.Queue = queue.Queue()
+
+        def worker():
+            q_in.get()              # the abort releases the worker
+
+        from repro.sim.sharded import _QueueChannel
+        ch = _QueueChannel(q_in, queue.Queue())
+        t = threading.Thread(target=worker, daemon=True)
+        t.start()
+        assert _shutdown_workers([ch], [t], "thread", grace=2.0) == []
+
+
+class TestQueueChannelPoll:
+    def test_poll_timeout_and_buffering(self):
+        from repro.sim.sharded import _QueueChannel
+        recv_q: queue.Queue = queue.Queue()
+        ch = _QueueChannel(queue.Queue(), recv_q)
+        t0 = time.monotonic()
+        assert ch.poll(0.05) is False
+        assert time.monotonic() - t0 >= 0.04
+        assert ch.poll(0) is False
+        recv_q.put(("msg", 1))
+        assert ch.poll(0) is True
+        assert ch.poll(0.5) is True     # buffered: no second consume
+        assert ch.recv() == ("msg", 1)
+        assert ch.poll(0) is False
+
+    def test_recv_drains_buffer_in_order(self):
+        from repro.sim.sharded import _QueueChannel
+        recv_q: queue.Queue = queue.Queue()
+        ch = _QueueChannel(queue.Queue(), recv_q)
+        recv_q.put("a")
+        assert ch.poll(0)
+        recv_q.put("b")
+        assert ch.recv() == "a"
+        assert ch.recv() == "b"
